@@ -1,0 +1,246 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one Benchmark per exhibit), plus microbenchmarks of the
+// performance-critical simulator paths.
+//
+// The figure benchmarks share one trained suite (built lazily outside
+// the timed region). By default the suite trains on the reduced "fast"
+// grid; set DORA_FULL_BENCH=1 for the full paper-scale campaign.
+// Results print through -v / b.Log on the first iteration.
+package dora
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"dora/internal/cache"
+	"dora/internal/core"
+	"dora/internal/corun"
+	"dora/internal/experiment"
+	"dora/internal/membus"
+	"dora/internal/soc"
+	"dora/internal/webdoc"
+	"dora/internal/webgen"
+	"dora/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiment.Suite
+	benchErr   error
+)
+
+func suiteForBench(b *testing.B) *experiment.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		fast := os.Getenv("DORA_FULL_BENCH") == ""
+		benchSuite, benchErr = experiment.NewSuite(experiment.TrainingConfig{
+			SoC: soc.NexusFive(), Seed: 1, Fast: fast,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// benchFigure runs one exhibit per iteration (memoized after the first)
+// and logs the rendered table once.
+func benchFigure(b *testing.B, run func(s *experiment.Suite) (interface{ Table() string }, error)) {
+	s := suiteForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table())
+		}
+	}
+}
+
+func BenchmarkFig1Interference(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig1() })
+}
+
+func BenchmarkFig2LoadTimeEnergy(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig2() })
+}
+
+func BenchmarkFig3OptimalMode(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig3() })
+}
+
+func BenchmarkTableIIIClassification(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.TableIII() })
+}
+
+func BenchmarkFig5ModelAccuracy(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig5(), nil })
+}
+
+func BenchmarkFig6Sensitivity(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig6() })
+}
+
+func BenchmarkFig7Governors(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig7() })
+}
+
+func BenchmarkFig8PerWorkload(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig8() })
+}
+
+func BenchmarkFig9Complexity(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig9() })
+}
+
+func BenchmarkFig10Leakage(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig10() })
+}
+
+func BenchmarkFig11Deadline(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Fig11() })
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Headline() })
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.Overhead() })
+}
+
+func BenchmarkIntervalStudy(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.IntervalStudy() })
+}
+
+func BenchmarkOfflineOpt(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.OfflineOpt() })
+}
+
+func BenchmarkAblationPiecewise(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.PiecewiseAblation() })
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.ReplacementAblation() })
+}
+
+func BenchmarkComplexitySweep(b *testing.B) {
+	benchFigure(b, func(s *experiment.Suite) (interface{ Table() string }, error) { return s.ComplexitySweep() })
+}
+
+// --- microbenchmarks of the hot simulator paths ----------------------
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.Config{
+		Name: "l2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 16,
+		MaxOwners: 4, Replacement: cache.RandomRepl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewRefGen(workload.Segment{
+		FootprintBytes: 8 << 20, Pattern: workload.Random, Base: 0x1000000,
+	}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(gen.Next(), i&3)
+	}
+}
+
+func BenchmarkRefGen(b *testing.B) {
+	gen := workload.NewRefGen(workload.Segment{
+		FootprintBytes: 4 << 20, Pattern: workload.PointerChase, Base: 0,
+	}, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next()
+	}
+}
+
+func BenchmarkBusWindow(b *testing.B) {
+	bus, err := membus.New(membus.DefaultLPDDR3(), 933)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Add(0, 100)
+		if _, err := bus.EndWindow(time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTMLParse(b *testing.B) {
+	spec, err := webgen.ByName("Reddit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	html := spec.HTML()
+	b.SetBytes(int64(len(html)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := webdoc.Parse(html); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegressionPredict(b *testing.B) {
+	s := suiteForBench(b)
+	opp := s.SoC.OPPs.Max()
+	x, err := core.InputVector([]float64{2000, 300, 250, 200, 260}, 8, opp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Models.LoadTime.Predict(opp, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithm1Pass(b *testing.B) {
+	s := suiteForBench(b)
+	page := []float64{2000, 300, 250, 200, 260}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Models.PredictAll(s.SoC.OPPs, page, 8, 1, 45, experiment.Deadline, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedSecond(b *testing.B) {
+	// Cost of simulating one virtual second with a browser-like load
+	// and a high-intensity co-runner.
+	k, err := corun.Representative(corun.High)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := soc.New(soc.NexusFive(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetOPP(m.OPP()) // keep floor OPP
+		if err := m.AssignSource(2, workload.Loop(k.New(1))); err != nil {
+			b.Fatal(err)
+		}
+		m.Step(time.Second)
+	}
+}

@@ -1,0 +1,78 @@
+// Command dorarepro regenerates every table and figure of the DORA
+// paper's evaluation section as plain-text tables, using the simulated
+// device and the trained models.
+//
+// Usage:
+//
+//	dorarepro                # everything, fast training grid
+//	dorarepro -full          # full training grid (slower, paper scale)
+//	dorarepro -fig 1,3,7     # only selected figures
+//	dorarepro -fig headline  # just the summary numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"dora"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dorarepro: ")
+	full := flag.Bool("full", false, "use the full paper-scale training campaign")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	figs := flag.String("fig", "all", "comma-separated list: 1,2,3,table3,5,6,7,8,9,10,11,headline,overhead,interval,offlineopt,ablation-piecewise,ablation-replacement,complexity")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	fmt.Println("training models (simulated measurement campaign)...")
+	suite, err := dora.NewSuite(dora.DefaultDevice(), *seed, !*full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: load-time error %.2f%%, power error %.2f%% (paper: 2.5%% / 4.0%%)\n\n",
+		suite.TrainReport.TimeMetrics.MAPE*100, suite.TrainReport.PowerMetrics.MAPE*100)
+
+	type figure struct {
+		key string
+		run func() (interface{ Table() string }, error)
+	}
+	figures := []figure{
+		{"1", func() (interface{ Table() string }, error) { return suite.Fig1() }},
+		{"2", func() (interface{ Table() string }, error) { return suite.Fig2() }},
+		{"3", func() (interface{ Table() string }, error) { return suite.Fig3() }},
+		{"table3", func() (interface{ Table() string }, error) { return suite.TableIII() }},
+		{"5", func() (interface{ Table() string }, error) { return suite.Fig5(), nil }},
+		{"6", func() (interface{ Table() string }, error) { return suite.Fig6() }},
+		{"7", func() (interface{ Table() string }, error) { return suite.Fig7() }},
+		{"8", func() (interface{ Table() string }, error) { return suite.Fig8() }},
+		{"9", func() (interface{ Table() string }, error) { return suite.Fig9() }},
+		{"10", func() (interface{ Table() string }, error) { return suite.Fig10() }},
+		{"11", func() (interface{ Table() string }, error) { return suite.Fig11() }},
+		{"headline", func() (interface{ Table() string }, error) { return suite.Headline() }},
+		{"overhead", func() (interface{ Table() string }, error) { return suite.Overhead() }},
+		{"interval", func() (interface{ Table() string }, error) { return suite.IntervalStudy() }},
+		{"offlineopt", func() (interface{ Table() string }, error) { return suite.OfflineOpt() }},
+		{"ablation-piecewise", func() (interface{ Table() string }, error) { return suite.PiecewiseAblation() }},
+		{"ablation-replacement", func() (interface{ Table() string }, error) { return suite.ReplacementAblation() }},
+		{"complexity", func() (interface{ Table() string }, error) { return suite.ComplexitySweep() }},
+	}
+	for _, f := range figures {
+		if !sel(f.key) {
+			continue
+		}
+		res, err := f.run()
+		if err != nil {
+			log.Fatalf("figure %s: %v", f.key, err)
+		}
+		fmt.Println(res.Table())
+	}
+}

@@ -1,0 +1,173 @@
+// Command dorasim runs a single measured page load on the simulated
+// device under a chosen frequency governor.
+//
+// Usage:
+//
+//	dorasim -page Reddit -corun backprop -governor interactive
+//	dorasim -page MSN -corun bfs -governor DORA -models models.json
+//	dorasim -page ESPN -freq 1497
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dora"
+	"dora/internal/core"
+	"dora/internal/soc"
+	"dora/internal/tablefmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dorasim: ")
+	page := flag.String("page", "Reddit", "web page to load (see -list)")
+	coRun := flag.String("corun", "", "co-scheduled kernel (empty = browser alone)")
+	govName := flag.String("governor", "interactive", "interactive|performance|powersave|DORA|DL|EE")
+	freq := flag.Int("freq", 0, "pin a fixed frequency in MHz instead of a governor")
+	deadline := flag.Duration("deadline", 3*time.Second, "QoS load-time target")
+	modelsPath := flag.String("models", "", "trained models JSON (required for DORA/DL/EE)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.String("trace", "", "write a per-millisecond CSV trace (time,freq,power,temp,bus_util) to this file")
+	list := flag.Bool("list", false, "list pages and kernels, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("pages:")
+		for _, p := range dora.Pages() {
+			fmt.Printf("  %s\n", p)
+		}
+		fmt.Println("co-run kernels:")
+		for _, k := range dora.CoRunners() {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+
+	dev := dora.DefaultDevice()
+	gov, interval, err := buildGovernor(dev, *govName, *freq, *modelsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var traceBuf strings.Builder
+	opts := dora.LoadOptions{
+		Device:           dev,
+		Governor:         gov,
+		Page:             *page,
+		CoRunner:         *coRun,
+		Deadline:         *deadline,
+		DecisionInterval: interval,
+		Seed:             *seed,
+	}
+	if *trace != "" {
+		traceBuf.WriteString("time_s,freq_mhz,power_w,soc_temp_c,bus_util\n")
+		opts.TraceFn = func(s soc.TraceSample) {
+			fmt.Fprintf(&traceBuf, "%.3f,%d,%.3f,%.2f,%.3f\n",
+				s.Now.Seconds(), s.FreqMHz, s.PowerW, s.SoCTempC, s.BusUtil)
+		}
+	}
+	res, err := dora.LoadPage(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *trace != "" {
+		if err := os.WriteFile(*trace, []byte(traceBuf.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+
+	t := tablefmt.New(fmt.Sprintf("%s + %s under %s", res.Page, orNone(res.CoRunName), gov.Name()),
+		"metric", "value")
+	t.AddRowStrings("load time", res.LoadTime.String())
+	t.AddRowStrings("deadline met", fmt.Sprint(res.DeadlineMet))
+	t.AddRowStrings("energy", fmt.Sprintf("%.2f J", res.EnergyJ))
+	t.AddRowStrings("avg device power", fmt.Sprintf("%.2f W", res.AvgPowerW))
+	t.AddRowStrings("PPW (1/J)", fmt.Sprintf("%.4f", res.PPW))
+	t.AddRowStrings("co-run L2 MPKI", fmt.Sprintf("%.2f", res.AvgCoRunMPKI))
+	t.AddRowStrings("co-run utilization", fmt.Sprintf("%.2f", res.AvgCoRunUtil))
+	t.AddRowStrings("max SoC temp", fmt.Sprintf("%.1f C", res.MaxSoCTempC))
+	t.AddRowStrings("frequency switches", fmt.Sprint(res.Switches))
+	fmt.Println(t.String())
+
+	type resid struct {
+		f int
+		d time.Duration
+	}
+	var rs []resid
+	for f, d := range res.FreqResidency {
+		rs = append(rs, resid{f, d})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].f < rs[j].f })
+	rt := tablefmt.New("Frequency residency", "freq_mhz", "time", "share_pct")
+	for _, r := range rs {
+		rt.AddRowStrings(fmt.Sprint(r.f), r.d.String(),
+			fmt.Sprintf("%.1f", 100*float64(r.d)/float64(res.LoadTime)))
+	}
+	fmt.Println(rt.String())
+}
+
+func buildGovernor(dev dora.Device, name string, freq int, modelsPath string) (dora.Governor, time.Duration, error) {
+	if freq > 0 {
+		return dora.NewFixed(dev, freq), 20 * time.Millisecond, nil
+	}
+	switch name {
+	case "interactive":
+		return dora.NewInteractive(), 20 * time.Millisecond, nil
+	case "performance":
+		return dora.NewPerformance(), 20 * time.Millisecond, nil
+	case "powersave":
+		return dora.NewPowersave(), 20 * time.Millisecond, nil
+	case "DORA", "DL", "EE", "DORA_no_lkg":
+		models, err := loadModels(modelsPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		var g dora.Governor
+		switch name {
+		case "DORA":
+			g, err = dora.NewDORA(models)
+		case "DORA_no_lkg":
+			g, err = dora.NewDORAWithoutLeakage(models)
+		case "DL":
+			g, err = dora.NewDeadlineOnly(models)
+		case "EE":
+			g, err = dora.NewEnergyOnly(models)
+		}
+		return g, 100 * time.Millisecond, err
+	default:
+		return nil, 0, fmt.Errorf("unknown governor %q", name)
+	}
+}
+
+func loadModels(path string) (*core.Models, error) {
+	if path == "" {
+		return nil, fmt.Errorf("model-based governors need -models (run doratrain first)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m core.Models
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "no co-runner"
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+// Command doratrain runs DORA's offline training pipeline on the
+// simulated device — the reproduction of the paper's Section IV-C
+// methodology — and writes the fitted models to a JSON file usable by
+// dorasim and dorarepro.
+//
+// Usage:
+//
+//	doratrain [-fast] [-seed N] [-out models.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dora"
+	"dora/internal/core"
+	"dora/internal/stats"
+	"dora/internal/tablefmt"
+	"dora/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doratrain: ")
+	fast := flag.Bool("fast", false, "reduced campaign grid (quicker, lower fidelity)")
+	seed := flag.Int64("seed", 1, "campaign random seed")
+	out := flag.String("out", "models.json", "output path for the trained models")
+	obsOut := flag.String("obs", "", "also save the raw campaign observations to this JSON file")
+	obsIn := flag.String("from-obs", "", "skip the campaign and fit from a saved observations file")
+	flag.Parse()
+
+	dev := dora.DefaultDevice()
+	var models *core.Models
+	var report dora.TrainReport
+	var err error
+	if *obsIn != "" {
+		fmt.Printf("fitting from saved campaign %s...\n", *obsIn)
+		var obs []train.Observation
+		obs, err = train.LoadObservations(*obsIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var static core.StaticPower
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		models, report, err = train.Fit(obs, static, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("running measurement campaign (this simulates hundreds of page loads)...")
+		tc := train.Config{SoC: dev, Seed: *seed}
+		if *fast {
+			tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
+			tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
+		}
+		var obs []train.Observation
+		obs, err = train.Campaign(tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *obsOut != "" {
+			if err := train.SaveObservations(*obsOut, obs); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("campaign observations written to %s\n", *obsOut)
+		}
+		var static core.StaticPower
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		models, report, err = train.Fit(obs, static, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	t := tablefmt.New("Model accuracy (training set)", "model", "mean_error_pct", "max_error_pct", "n")
+	t.AddRow("load time (interaction surface)", report.TimeMetrics.MAPE*100, report.TimeMetrics.MaxAPE*100, report.Observations)
+	t.AddRow("power (linear + Eq.5 static)", report.PowerMetrics.MAPE*100, report.PowerMetrics.MaxAPE*100, report.Observations)
+	fmt.Println(t.String())
+
+	cdf := stats.NewCDF(report.TimeErrors)
+	fmt.Printf("load-time error CDF: %.0f%% of predictions under 5%% error, %.0f%% under 10%%\n",
+		cdf.At(0.05)*100, cdf.At(0.10)*100)
+	fmt.Printf("paper reference: 2.5%% mean load-time error, 4.0%% mean power error\n\n")
+
+	data, err := json.MarshalIndent(models, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("models written to %s\n", *out)
+}

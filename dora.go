@@ -1,0 +1,240 @@
+// Package dora is the public facade of the DORA reproduction: a
+// full-system simulation of the paper "DORA: Optimizing Smartphone
+// Energy Efficiency and Web Browser Performance under Interference"
+// (Shingari, Arunkumar, Gaudette, Vrudhula, Wu — ISPASS 2018).
+//
+// The library bundles:
+//
+//   - a simulated Google Nexus 5 class SoC (quad-core, private L1,
+//     shared 2 MB L2 with random replacement, LPDDR3 memory channel,
+//     MSM8974 DVFS ladder, RC thermal network, whole-device power
+//     model);
+//   - a browser rendering-engine model driven by real parsed HTML
+//     (the 18-page synthetic Alexa corpus);
+//   - the nine Rodinia-class co-scheduled kernels of the paper's
+//     Table III;
+//   - the Android interactive / performance / powersave governors;
+//   - DORA itself (Algorithm 1) plus the DL and EE comparison
+//     governors, trained by the included offline pipeline;
+//   - an experiment suite reproducing every figure and table of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := dora.DefaultDevice()
+//	models, _, err := dora.Train(dora.TrainOptions{Device: cfg, Fast: true})
+//	if err != nil { ... }
+//	gov, err := dora.NewDORA(models)
+//	if err != nil { ... }
+//	res, err := dora.LoadPage(dora.LoadOptions{
+//		Device:   cfg,
+//		Governor: gov,
+//		Page:     "Reddit",
+//		CoRunner: "backprop",
+//	})
+//	fmt.Printf("load %v, %.2f J, PPW %.3f\n", res.LoadTime, res.EnergyJ, res.PPW)
+package dora
+
+import (
+	"fmt"
+	"time"
+
+	"dora/internal/core"
+	"dora/internal/corun"
+	"dora/internal/experiment"
+	"dora/internal/governor"
+	"dora/internal/sim"
+	"dora/internal/soc"
+	"dora/internal/train"
+	"dora/internal/webgen"
+)
+
+// Re-exported core types. Aliases keep one definition of truth in the
+// internal packages while giving users a single import.
+type (
+	// Device is the full simulated-device configuration.
+	Device = soc.Config
+	// Governor decides the operating point each interval.
+	Governor = governor.Governor
+	// Models is DORA's trained predictor bundle.
+	Models = core.Models
+	// Result is one measured page load.
+	Result = sim.Result
+	// Observation is one labelled training measurement.
+	Observation = train.Observation
+	// TrainReport summarizes model accuracy.
+	TrainReport = train.Report
+	// Suite reproduces the paper's evaluation figures.
+	Suite = experiment.Suite
+	// Intensity is a co-runner memory-intensity class.
+	Intensity = corun.Intensity
+)
+
+// Intensity classes (Table III).
+const (
+	LowIntensity    = corun.Low
+	MediumIntensity = corun.Medium
+	HighIntensity   = corun.High
+	NoCoRunner      = corun.None
+)
+
+// DefaultDevice returns the calibrated Nexus 5 (MSM8974) configuration
+// of the paper's Table II.
+func DefaultDevice() Device { return soc.NexusFive() }
+
+// Pages lists the 18-page web corpus (Table III).
+func Pages() []string { return webgen.Names() }
+
+// TrainingPages lists the 14 pages used for model fitting.
+func TrainingPages() []string { return webgen.TrainingNames() }
+
+// CoRunners lists the nine co-scheduled kernels (Table III).
+func CoRunners() []string {
+	var out []string
+	for _, k := range corun.Kernels() {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// TrainOptions configures the offline training pipeline.
+type TrainOptions struct {
+	Device Device
+	Seed   int64
+	// Fast shrinks the measurement campaign (for demos and tests).
+	Fast bool
+	// Tiny shrinks it further to a minimal demo grid (~40 runs);
+	// model fidelity is reduced but the governor behaviours survive.
+	Tiny bool
+}
+
+// Train runs the paper's offline methodology: the fixed-frequency
+// measurement campaign, the static/leakage fit, and the piecewise
+// response-surface fits. It returns the trained models and the
+// training-set accuracy report.
+func Train(opts TrainOptions) (*Models, TrainReport, error) {
+	tc := train.Config{SoC: opts.Device, Seed: opts.Seed}
+	switch {
+	case opts.Tiny:
+		tc.Pages = []string{"Alipay", "Reddit", "MSN", "Hao123"}
+		tc.Intensities = []corun.Intensity{corun.None, corun.Low, corun.High}
+		tc.FreqsMHz = []int{652, 729, 960, 1190, 1497, 1728, 1958, 2265}
+	case opts.Fast:
+		tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
+		tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
+	}
+	obs, err := train.Campaign(tc)
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	static, err := train.FitStatic(train.Config{SoC: opts.Device, Seed: opts.Seed})
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	return train.Fit(obs, static, 30)
+}
+
+// NewDORA builds the DORA governor (Algorithm 1) from trained models.
+func NewDORA(models *Models) (Governor, error) {
+	return core.New(models, core.Options{Mode: core.ModeDORA, UseLeakage: true})
+}
+
+// NewDORAWithoutLeakage builds the Fig. 10 ablation that ignores the
+// live temperature.
+func NewDORAWithoutLeakage(models *Models) (Governor, error) {
+	return core.New(models, core.Options{Mode: core.ModeDORA, UseLeakage: false})
+}
+
+// NewDeadlineOnly builds the paper's DL comparison governor.
+func NewDeadlineOnly(models *Models) (Governor, error) {
+	return core.New(models, core.Options{Mode: core.ModeDL, UseLeakage: true})
+}
+
+// NewEnergyOnly builds the paper's EE comparison governor.
+func NewEnergyOnly(models *Models) (Governor, error) {
+	return core.New(models, core.Options{Mode: core.ModeEE, UseLeakage: true})
+}
+
+// NewInteractive builds the Android default governor (the paper's
+// baseline).
+func NewInteractive() Governor {
+	return governor.NewInteractive(governor.DefaultInteractiveConfig())
+}
+
+// NewPerformance builds the max-frequency governor.
+func NewPerformance() Governor { return governor.NewPerformance() }
+
+// NewPowersave builds the min-frequency governor.
+func NewPowersave() Governor { return governor.NewPowersave() }
+
+// NewOndemand builds the classic Linux ondemand governor.
+func NewOndemand() Governor {
+	return governor.NewOndemand(governor.DefaultOndemandConfig())
+}
+
+// NewConservative builds the step-at-a-time conservative governor.
+func NewConservative() Governor {
+	return governor.NewConservative(governor.DefaultConservativeConfig())
+}
+
+// NewFixed pins the closest OPP at or above the given frequency.
+func NewFixed(dev Device, freqMHz int) Governor {
+	return governor.NewFixed(dev.OPPs.Ceil(freqMHz))
+}
+
+// LoadOptions configures one measured page load.
+type LoadOptions struct {
+	Device   Device
+	Governor Governor
+	// Page is a corpus page name (see Pages).
+	Page string
+	// CoRunner is a kernel name (see CoRunners); empty = browser alone.
+	CoRunner string
+	// Deadline is the QoS target (default 3 s).
+	Deadline time.Duration
+	// DecisionInterval is the governor cadence (default 20 ms for the
+	// cpufreq baselines; use 100 ms for model-based governors, as the
+	// paper does).
+	DecisionInterval time.Duration
+	Seed             int64
+	// AmbientC overrides ambient temperature (0 = 25 degC).
+	AmbientC float64
+	// TraceFn, when set, receives one observability sample per
+	// simulated millisecond (frequency, power, temperature, bus
+	// utilization).
+	TraceFn func(soc.TraceSample)
+}
+
+// LoadPage performs one end-to-end measured page load.
+func LoadPage(opts LoadOptions) (Result, error) {
+	spec, err := webgen.ByName(opts.Page)
+	if err != nil {
+		return Result{}, err
+	}
+	wl := sim.Workload{Page: spec}
+	if opts.CoRunner != "" {
+		k, err := corun.ByName(opts.CoRunner)
+		if err != nil {
+			return Result{}, err
+		}
+		wl.CoRun = &k
+	}
+	if opts.Governor == nil {
+		return Result{}, fmt.Errorf("dora: nil governor")
+	}
+	return sim.LoadPage(sim.Options{
+		SoC:              opts.Device,
+		Governor:         opts.Governor,
+		Deadline:         opts.Deadline,
+		DecisionInterval: opts.DecisionInterval,
+		Seed:             opts.Seed,
+		AmbientC:         opts.AmbientC,
+		TraceFn:          opts.TraceFn,
+	}, wl)
+}
+
+// NewSuite trains models and returns the paper-evaluation suite. Set
+// fast for a reduced (but shape-preserving) campaign.
+func NewSuite(dev Device, seed int64, fast bool) (*Suite, error) {
+	return experiment.NewSuite(experiment.TrainingConfig{SoC: dev, Seed: seed, Fast: fast})
+}

@@ -1,0 +1,77 @@
+package dora_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dora"
+)
+
+// Loading a page under a fixed frequency is the simplest measurement:
+// no training needed.
+func ExampleLoadPage() {
+	dev := dora.DefaultDevice()
+	res, err := dora.LoadPage(dora.LoadOptions{
+		Device:   dev,
+		Governor: dora.NewFixed(dev, 1958),
+		Page:     "Alipay",
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("met 3s deadline: %v\n", res.DeadlineMet)
+	// Output: met 3s deadline: true
+}
+
+// The full DORA pipeline: train models, build the governor, measure a
+// load under interference. (Not executed as a doc test — the campaign
+// takes a minute — but this is the canonical usage.)
+func Example_fullPipeline() {
+	dev := dora.DefaultDevice()
+	models, report, err := dora.Train(dora.TrainOptions{Device: dev, Tiny: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load-time model error: %.1f%%\n", report.TimeMetrics.MAPE*100)
+
+	gov, err := dora.NewDORA(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dora.LoadPage(dora.LoadOptions{
+		Device:           dev,
+		Governor:         gov,
+		Page:             "Reddit",
+		CoRunner:         "backprop",
+		Deadline:         3 * time.Second,
+		DecisionInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load %v, PPW %.3f\n", res.LoadTime, res.PPW)
+}
+
+// Comparing the paper's governor set on one workload.
+func Example_governorComparison() {
+	dev := dora.DefaultDevice()
+	for _, gov := range []dora.Governor{
+		dora.NewInteractive(),
+		dora.NewPerformance(),
+		dora.NewOndemand(),
+	} {
+		res, err := dora.LoadPage(dora.LoadOptions{
+			Device:   dev,
+			Governor: gov,
+			Page:     "MSN",
+			CoRunner: "bfs",
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.2fs\n", gov.Name(), res.LoadTime.Seconds())
+	}
+}

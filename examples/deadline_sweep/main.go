@@ -1,0 +1,56 @@
+// Deadline sweep (the paper's Figure 11): DORA's frequency choice for
+// MSN co-run with a high-intensity kernel, as the QoS deadline relaxes
+// from 1 to 10 seconds. Tight deadlines pin the deadline-driven f_D;
+// loose deadlines settle at the energy-optimal f_E.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dora"
+	"dora/internal/tablefmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	dev := dora.DefaultDevice()
+
+	fmt.Println("training models (tiny campaign)...")
+	models, _, err := dora.Train(dora.TrainOptions{Device: dev, Seed: 1, Tiny: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gov, err := dora.NewDORA(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := tablefmt.New("DORA frequency choice vs deadline — MSN + backprop",
+		"deadline_s", "load_time_s", "met", "modal_freq_mhz", "ppw")
+	for d := 1; d <= 10; d++ {
+		res, err := dora.LoadPage(dora.LoadOptions{
+			Device:           dev,
+			Governor:         gov,
+			Page:             "MSN",
+			CoRunner:         "backprop",
+			Deadline:         time.Duration(d) * time.Second,
+			DecisionInterval: 100 * time.Millisecond,
+			Seed:             4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		modal, modalD := 0, time.Duration(0)
+		for f, dur := range res.FreqResidency {
+			if dur > modalD {
+				modal, modalD = f, dur
+			}
+		}
+		t.AddRow(d, res.LoadTime.Seconds(), res.DeadlineMet, modal, res.PPW)
+	}
+	fmt.Println(t.String())
+	fmt.Println("Expect the chosen frequency to fall as the deadline relaxes, then")
+	fmt.Println("plateau at the energy-optimal setting f_E (paper Fig. 11).")
+}

@@ -1,0 +1,76 @@
+// Governor comparison (the paper's Figure 7 in miniature): run a few
+// page/kernel combinations under interactive, performance, DL, EE and
+// DORA, and report load time and PPW normalized to interactive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dora"
+	"dora/internal/tablefmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	dev := dora.DefaultDevice()
+
+	fmt.Println("training models (tiny campaign)...")
+	models, _, err := dora.Train(dora.TrainOptions{Device: dev, Seed: 1, Tiny: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dl, err := dora.NewDeadlineOnly(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ee, err := dora.NewEnergyOnly(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dr, err := dora.NewDORA(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	governors := []struct {
+		gov      dora.Governor
+		interval time.Duration
+	}{
+		{dora.NewInteractive(), 20 * time.Millisecond},
+		{dora.NewPerformance(), 20 * time.Millisecond},
+		{dl, 100 * time.Millisecond},
+		{ee, 100 * time.Millisecond},
+		{dr, 100 * time.Millisecond},
+	}
+	workloads := []struct{ page, kernel string }{
+		{"MSN", "bfs"},         // f_D <= f_E: DORA should track EE
+		{"ESPN", "srad2"},      // f_D > f_E: DORA should track DL
+		{"Amazon", "backprop"}, // low-complexity page, heavy interference
+	}
+
+	for _, wl := range workloads {
+		t := tablefmt.New(fmt.Sprintf("%s + %s (3 s deadline)", wl.page, wl.kernel),
+			"governor", "load_time_s", "met", "ppw", "ppw_vs_interactive")
+		var basePPW float64
+		for i, g := range governors {
+			res, err := dora.LoadPage(dora.LoadOptions{
+				Device:           dev,
+				Governor:         g.gov,
+				Page:             wl.page,
+				CoRunner:         wl.kernel,
+				DecisionInterval: g.interval,
+				Seed:             3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				basePPW = res.PPW
+			}
+			t.AddRow(g.gov.Name(), res.LoadTime.Seconds(), res.DeadlineMet, res.PPW, res.PPW/basePPW)
+		}
+		fmt.Println(t.String())
+	}
+}

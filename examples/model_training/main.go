@@ -1,0 +1,50 @@
+// Model training walkthrough (the paper's Section IV-C and Figure 5):
+// run the measurement campaign, fit the piecewise load-time and power
+// models plus the Eq. (5) static model, and print the prediction-error
+// CDF that Fig. 5 plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dora"
+	"dora/internal/stats"
+	"dora/internal/tablefmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full 14-page campaign (several minutes)")
+	flag.Parse()
+
+	dev := dora.DefaultDevice()
+	opts := dora.TrainOptions{Device: dev, Seed: 1, Tiny: !*full}
+	if *full {
+		fmt.Println("running the full paper-scale campaign (14 pages x 4 intensities x 12 frequencies)...")
+	} else {
+		fmt.Println("running a tiny demo campaign (pass -full for the paper-scale grid)...")
+	}
+	models, report, err := dora.Train(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := tablefmt.New("Model accuracy", "model", "mean_error_pct", "max_error_pct")
+	t.AddRow("web page load time", report.TimeMetrics.MAPE*100, report.TimeMetrics.MaxAPE*100)
+	t.AddRow("device power", report.PowerMetrics.MAPE*100, report.PowerMetrics.MaxAPE*100)
+	fmt.Println(t.String())
+
+	cdfT := stats.NewCDF(report.TimeErrors)
+	cdfP := stats.NewCDF(report.PowerErrors)
+	c := tablefmt.New("Prediction error CDF (Figure 5)", "error_bound", "load_time", "power")
+	for _, x := range []float64{0.01, 0.02, 0.05, 0.10, 0.20} {
+		c.AddRow(fmt.Sprintf("<= %.0f%%", x*100), cdfT.At(x), cdfP.At(x))
+	}
+	fmt.Println(c.String())
+
+	fmt.Printf("static (leakage) model: P(1.10 V, 65 C) = %.2f W vs P(0.80 V, 30 C) = %.2f W\n",
+		models.Static.At(1.10, 65), models.Static.At(0.80, 30))
+	fmt.Println("paper reference: 2.5% mean load-time error, 4.0% mean power error.")
+}

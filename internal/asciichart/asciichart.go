@@ -1,0 +1,169 @@
+// Package asciichart renders small line and bar charts as plain text,
+// so the reproduction's figure harness can show the paper's *curves* —
+// PPW vs frequency, load-time CDFs, per-workload bars — directly in a
+// terminal next to the numeric tables.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a plot.
+type Series struct {
+	Name   string
+	Points []Point
+	// Marker is the rune used for this series (assigned automatically
+	// when zero).
+	Marker rune
+}
+
+// Point is an (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series on a width x height character canvas with a
+// y-axis scale and an x-axis range label. Returns "" for empty input.
+func Plot(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + math.Max(math.Abs(minY)*0.1, 1e-9)
+	}
+
+	canvas := make([][]rune, height)
+	for i := range canvas {
+		canvas[i] = make([]rune, width)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((maxY - p.Y) / (maxY - minY) * float64(height-1)))
+			canvas[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	yLabel := func(row int) string {
+		v := maxY - (maxY-minY)*float64(row)/float64(height-1)
+		return fmt.Sprintf("%8.3g", v)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", 8)
+		if row == 0 || row == height-1 || row == (height-1)/2 {
+			label = yLabel(row)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.WriteString(strings.TrimRight(string(canvas[row]), " "))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("%9s %-12.4g%*s\n", "", minX, width-12, fmt.Sprintf("%.4g", maxX)))
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	if len(legend) > 0 {
+		b.WriteString(strings.Repeat(" ", 10) + strings.Join(legend, "   ") + "\n")
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart; values may be negative (bars
+// extend from a zero baseline). Returns "" for empty input.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width < 20 {
+		width = 20
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	minV, maxV := 0.0, 0.0
+	for _, v := range values {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	zeroCol := int(math.Round(-minV / span * float64(width-1)))
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		col := int(math.Round((v - minV) / span * float64(width-1)))
+		line := make([]rune, width)
+		for j := range line {
+			line[j] = ' '
+		}
+		lo, hi := zeroCol, col
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for j := lo; j <= hi && j < width; j++ {
+			line[j] = '='
+		}
+		if zeroCol >= 0 && zeroCol < width {
+			line[zeroCol] = '|'
+		}
+		b.WriteString(fmt.Sprintf("%-*s %s %.3f\n", labelW, labels[i], strings.TrimRight(string(line), " "), v))
+	}
+	return b.String()
+}

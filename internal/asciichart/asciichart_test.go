@@ -1,0 +1,102 @@
+package asciichart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot("PPW vs f", []Series{
+		{Name: "msn", Points: []Point{{1, 0.1}, {2, 0.2}, {3, 0.15}}},
+		{Name: "espn", Points: []Point{{1, 0.05}, {2, 0.08}, {3, 0.07}}},
+	}, 40, 8)
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	if !strings.Contains(out, "PPW vs f") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* msn") || !strings.Contains(out, "o espn") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Axis range labels appear.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "3") {
+		t.Fatalf("missing x labels:\n%s", out)
+	}
+	// Marker count: at least one marker per series.
+	if strings.Count(out, "*") < 3 { // legend + >= points
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if Plot("t", nil, 40, 8) != "" {
+		t.Fatal("no series must render empty")
+	}
+	if Plot("t", []Series{{Name: "n"}}, 40, 8) != "" {
+		t.Fatal("series without points must render empty")
+	}
+	// NaN-only points are skipped.
+	if Plot("t", []Series{{Name: "n", Points: []Point{{math.NaN(), 1}}}}, 40, 8) != "" {
+		t.Fatal("NaN-only series must render empty")
+	}
+	// Single point / flat series must not divide by zero.
+	out := Plot("t", []Series{{Name: "n", Points: []Point{{1, 5}}}}, 40, 8)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate plot broken:\n%s", out)
+	}
+	flat := Plot("t", []Series{{Name: "n", Points: []Point{{1, 5}, {2, 5}}}}, 40, 8)
+	if flat == "" || strings.Contains(flat, "NaN") {
+		t.Fatalf("flat plot broken:\n%s", flat)
+	}
+}
+
+func TestPlotValueAtExtremes(t *testing.T) {
+	// The max-Y point must land on the top row, min-Y on the bottom.
+	out := Plot("", []Series{{Name: "s", Points: []Point{{0, 0}, {10, 100}}}}, 30, 6)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "*") {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("gains", []string{"DORA", "EE", "DL"}, []float64{0.11, 0.15, -0.12}, 30)
+	if !strings.Contains(out, "gains") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	if len(lines) != 3 {
+		t.Fatalf("bar rows = %d", len(lines))
+	}
+	// EE has the longest positive bar.
+	count := func(s string) int { return strings.Count(s, "=") }
+	if count(lines[1]) <= count(lines[0]) {
+		t.Fatalf("EE bar not longer than DORA:\n%s", out)
+	}
+	// Negative bar exists for DL.
+	if count(lines[2]) == 0 {
+		t.Fatalf("DL negative bar missing:\n%s", out)
+	}
+	// Values printed.
+	if !strings.Contains(lines[0], "0.110") {
+		t.Fatalf("value missing:\n%s", out)
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if Bars("t", nil, nil, 30) != "" {
+		t.Fatal("empty bars must render empty")
+	}
+	if Bars("t", []string{"a"}, []float64{1, 2}, 30) != "" {
+		t.Fatal("mismatched lengths must render empty")
+	}
+	out := Bars("t", []string{"a", "b"}, []float64{0, 0}, 30)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("all-zero bars broken:\n%s", out)
+	}
+}

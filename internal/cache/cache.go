@@ -1,0 +1,241 @@
+// Package cache implements the set-associative cache simulator used for
+// the private L1 and shared L2 caches of the simulated MSM8974. The
+// shared L2 tracks per-requestor statistics, including lines evicted by
+// a different owner than the one that installed them — the mechanism
+// behind the memory interference the DORA paper manages.
+package cache
+
+import (
+	"fmt"
+)
+
+// Replacement selects the victim-choice policy.
+type Replacement int
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Replacement = iota
+	// RandomRepl evicts a pseudo-randomly chosen way, as the PL310/
+	// Krait-class L2 controllers do. Random replacement is what makes
+	// a streaming co-runner evict a victim's hot lines instead of its
+	// own cold ones — the interference the paper measures.
+	RandomRepl
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// MaxOwners is the number of distinct requestors (cores) whose
+	// statistics are tracked separately.
+	MaxOwners int
+	// Replacement is the victim policy (default LRU).
+	Replacement Replacement
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.MaxOwners <= 0 {
+		return fmt.Errorf("cache %q: MaxOwners must be positive", c.Name)
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	owner   int8
+	valid   bool
+	lastUse uint64
+}
+
+// OwnerStats aggregates the per-requestor counters.
+type OwnerStats struct {
+	Accesses       uint64
+	Misses         uint64
+	EvictedByOther uint64 // this owner's lines evicted by another owner
+	EvictedOther   uint64 // other owners' lines this owner evicted
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s OwnerStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, LRU-replacement cache model.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	lcg      uint64 // random-replacement state
+	stats    []OwnerStats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nSets),
+		setMask: uint64(nSets - 1),
+		stats:   make([]OwnerStats, cfg.MaxOwners),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates one reference by owner at addr. It returns true on a
+// hit. On a miss the line is installed, evicting the LRU way; if the
+// victim belonged to a different owner, interference counters are
+// updated on both sides.
+func (c *Cache) Access(addr uint64, owner int) bool {
+	if owner < 0 || owner >= c.cfg.MaxOwners {
+		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
+	}
+	c.tick++
+	st := &c.stats[owner]
+	st.Accesses++
+
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			return true
+		}
+	}
+	st.Misses++
+
+	// Victim: first invalid way, else per policy.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if c.cfg.Replacement == RandomRepl {
+			c.lcg = c.lcg*6364136223846793005 + 1442695040888963407
+			victim = int((c.lcg >> 33) % uint64(len(set)))
+		} else {
+			victim = 0
+			var oldest uint64 = ^uint64(0)
+			for i := range set {
+				if set[i].lastUse < oldest {
+					oldest = set[i].lastUse
+					victim = i
+				}
+			}
+		}
+	}
+	v := &set[victim]
+	if v.valid && int(v.owner) != owner {
+		c.stats[v.owner].EvictedByOther++
+		st.EvictedOther++
+	}
+	*v = line{tag: tag, owner: int8(owner), valid: true, lastUse: c.tick}
+	return false
+}
+
+// Stats returns a copy of the counters for owner.
+func (c *Cache) Stats(owner int) OwnerStats {
+	if owner < 0 || owner >= len(c.stats) {
+		return OwnerStats{}
+	}
+	return c.stats[owner]
+}
+
+// TotalStats returns counters summed over all owners.
+func (c *Cache) TotalStats() OwnerStats {
+	var t OwnerStats
+	for _, s := range c.stats {
+		t.Accesses += s.Accesses
+		t.Misses += s.Misses
+		t.EvictedByOther += s.EvictedByOther
+		t.EvictedOther += s.EvictedOther
+	}
+	return t
+}
+
+// ResetStats zeroes all counters without disturbing cache contents, so
+// sampling windows can be delimited.
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = OwnerStats{}
+	}
+}
+
+// Flush invalidates all lines and zeroes statistics.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.ResetStats()
+	c.tick = 0
+}
+
+// ValidLines counts currently valid lines (used by invariant tests).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CapacityLines returns the total number of line slots.
+func (c *Cache) CapacityLines() int {
+	return len(c.sets) * c.cfg.Ways
+}
+
+// OwnerLines counts valid lines currently belonging to owner.
+func (c *Cache) OwnerLines(owner int) int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid && int(c.sets[i][j].owner) == owner {
+				n++
+			}
+		}
+	}
+	return n
+}

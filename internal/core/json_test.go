@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dora/internal/dvfs"
+)
+
+// The doratrain/dorasim tools exchange trained models as JSON; the
+// round trip must preserve predictions exactly.
+func TestModelsJSONRoundTrip(t *testing.T) {
+	m := syntheticModels(t)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Models
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tab := dvfs.MSM8974()
+	page := pageFor(3)
+	orig, err := m.PredictAll(tab, page, 6, 0.8, 48, 3*time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.PredictAll(tab, page, 6, 0.8, 48, 3*time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("prediction %d changed after JSON round trip: %+v vs %+v", i, orig[i], got[i])
+		}
+	}
+	// Governors built from deserialized models behave identically.
+	g1, err := New(m, Options{Mode: ModeDORA, UseLeakage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(&back, Options{Mode: ModeDORA, UseLeakage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx(t, page, 3*time.Second, 48)
+	if g1.Decide(c).FreqMHz != g2.Decide(c).FreqMHz {
+		t.Fatal("decision changed after JSON round trip")
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPiecewiseAblation(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.PiecewiseAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The piecewise split is the paper's design choice: it must not be
+	// worse than pooling everything into one model.
+	if res.PiecewiseMAPE > res.PooledMAPE*1.05 {
+		t.Fatalf("piecewise MAPE %.2f%% worse than pooled %.2f%%",
+			res.PiecewiseMAPE*100, res.PooledMAPE*100)
+	}
+	if !strings.Contains(res.Table(), "piecewise") {
+		t.Fatal("table rendering wrong")
+	}
+	empty := &Suite{}
+	if _, err := empty.PiecewiseAblation(); err == nil {
+		t.Fatal("suite without observations must error")
+	}
+}
+
+func TestReplacementAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := tinySuite(t)
+	res, err := s.ReplacementAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pseudo-random replacement is what lets a streaming co-runner hurt
+	// the browser; with LRU the interference collapses.
+	if res.RandomSlowdown < res.LRUSlowdown {
+		t.Fatalf("random-replacement slowdown %.1f%% below LRU %.1f%%",
+			res.RandomSlowdown*100, res.LRUSlowdown*100)
+	}
+	if res.RandomSlowdown < 0.10 {
+		t.Fatalf("random-replacement interference %.1f%% too weak", res.RandomSlowdown*100)
+	}
+	if !strings.Contains(res.Table(), "LRU") {
+		t.Fatal("table rendering wrong")
+	}
+}
+
+func TestIntervalStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := fastSuite(t)
+	res, err := s.IntervalStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 3 {
+		t.Fatalf("intervals = %d, want 3 (50/100/250 ms)", len(res.Intervals))
+	}
+	// All intervals must deliver efficiency gains; the paper chose
+	// 100 ms because 50 and 100 behave similarly.
+	for i, iv := range res.Intervals {
+		if res.MeanNormPPW[i] < 0.9 {
+			t.Errorf("interval %v: normalized PPW %.3f implausibly low", iv, res.MeanNormPPW[i])
+		}
+	}
+	if !strings.Contains(res.Table(), "decision-interval") {
+		t.Fatal("table rendering wrong")
+	}
+}
+
+func TestOfflineOpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := fastSuite(t)
+	res, err := s.OfflineOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads != 10 {
+		t.Fatalf("sampled %d workloads, want 10 (paper)", res.Workloads)
+	}
+	// DORA cannot beat the offline-optimal static frequency by more
+	// than noise, and should capture most of its gain.
+	if res.DORAMeanNorm > res.OptMeanNorm*1.05 {
+		t.Errorf("DORA (%.3f) above offline optimal (%.3f)?", res.DORAMeanNorm, res.OptMeanNorm)
+	}
+	if res.OptMeanNorm > 1 && res.DORAMeanNorm < 1+(res.OptMeanNorm-1)*0.5 {
+		t.Errorf("DORA captures too little of the offline-optimal gain: %.3f vs %.3f",
+			res.DORAMeanNorm, res.OptMeanNorm)
+	}
+}
+
+func TestComplexitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	s := tinySuite(t)
+	res, err := s.ComplexitySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Load time must rise with structure, near-linearly in node count —
+	// the premise behind the paper's feature-based load-time model.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].LoadTime <= res.Points[i-1].LoadTime {
+			t.Fatalf("load time not increasing at point %d", i)
+		}
+	}
+	if res.R2 < 0.95 {
+		t.Fatalf("R^2 = %v; load time should be near-linear in DOM nodes", res.R2)
+	}
+	if res.Slope <= 0 {
+		t.Fatalf("slope = %v", res.Slope)
+	}
+}

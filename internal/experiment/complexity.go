@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dora/internal/asciichart"
+	"dora/internal/governor"
+	"dora/internal/sim"
+	"dora/internal/tablefmt"
+	"dora/internal/webgen"
+)
+
+// ComplexityPoint is one scaled-page measurement.
+type ComplexityPoint struct {
+	Scale    float64
+	DOMNodes int
+	LoadTime time.Duration
+}
+
+// ComplexityResult validates the premise the paper adopts from Zhu et
+// al.: web page load time is dominated by, and grows near-linearly
+// with, the page-complexity features (Section II-A). We scale one
+// page's structure from 0.5x to 2.5x and fit load time against the DOM
+// node count.
+type ComplexityResult struct {
+	Page   string
+	Points []ComplexityPoint
+	// R2 of the linear fit load time ~ a + b * nodes.
+	R2    float64
+	Slope float64 // seconds per 1000 DOM nodes
+}
+
+// ComplexitySweep measures the load-time-vs-complexity relationship at
+// a fixed frequency (2.265 GHz, browser alone).
+func (s *Suite) ComplexitySweep() (*ComplexityResult, error) {
+	base, err := webgen.ByName("MSN")
+	if err != nil {
+		return nil, err
+	}
+	opp, err := s.SoC.OPPs.ByFreq(2265)
+	if err != nil {
+		return nil, err
+	}
+	res := &ComplexityResult{Page: base.Name}
+	for _, scale := range []float64{0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5} {
+		spec := base.Scaled(scale)
+		r, err := sim.LoadPage(sim.Options{
+			SoC:      s.SoC,
+			Governor: governor.NewFixed(opp),
+			Seed:     s.Seed,
+		}, sim.Workload{Page: spec})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ComplexityPoint{
+			Scale:    scale,
+			DOMNodes: r.Features.DOMNodes,
+			LoadTime: r.LoadTime,
+		})
+	}
+	// Least-squares line: t = a + b*nodes.
+	n := float64(len(res.Points))
+	var sx, sy, sxx, sxy float64
+	for _, p := range res.Points {
+		x := float64(p.DOMNodes)
+		y := p.LoadTime.Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den != 0 {
+		b := (n*sxy - sx*sy) / den
+		a := (sy - b*sx) / n
+		res.Slope = b * 1000
+		var ssRes, ssTot float64
+		meanY := sy / n
+		for _, p := range res.Points {
+			pred := a + b*float64(p.DOMNodes)
+			y := p.LoadTime.Seconds()
+			ssRes += (y - pred) * (y - pred)
+			ssTot += (y - meanY) * (y - meanY)
+		}
+		if ssTot > 0 {
+			res.R2 = 1 - ssRes/ssTot
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *ComplexityResult) Table() string {
+	t := tablefmt.New(
+		fmt.Sprintf("Complexity sweep — %s structure scaled 0.5x..2.5x, alone @2.265 GHz (Section II-A premise)", r.Page),
+		"scale", "dom_nodes", "load_time_s")
+	var pts []asciichart.Point
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.2fx", p.Scale), p.DOMNodes, p.LoadTime.Seconds())
+		pts = append(pts, asciichart.Point{X: float64(p.DOMNodes), Y: p.LoadTime.Seconds()})
+	}
+	return t.String() +
+		fmt.Sprintf("linear fit: R^2 = %.4f, slope = %.3f s per 1000 DOM nodes\n\n", r.R2, r.Slope) +
+		asciichart.Plot("load time (s) vs DOM nodes", []asciichart.Series{{Name: r.Page, Points: pts}}, 56, 9)
+}

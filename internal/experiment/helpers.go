@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"time"
+
+	"dora/internal/corun"
+	"dora/internal/dvfs"
+	"dora/internal/governor"
+	"dora/internal/sim"
+	"dora/internal/soc"
+	"dora/internal/workload"
+)
+
+// fixedGov pins a single OPP.
+func fixedGov(opp dvfs.OPP) governor.Governor { return governor.NewFixed(opp) }
+
+// newKernelMachine measures a kernel running alone for two seconds at
+// the given OPP and returns its counters wrapped as a sim.Result (only
+// the MPKI/utilization fields are populated).
+func newKernelMachine(s *Suite, opp dvfs.OPP, k corun.Kernel) (sim.Result, error) {
+	m, err := soc.New(s.SoC, s.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	m.SetOPP(opp)
+	if err := m.AssignSource(sim.CoRunCore, workload.Loop(k.New(s.Seed+1))); err != nil {
+		return sim.Result{}, err
+	}
+	m.Step(2 * time.Second)
+	c := m.Counters(sim.CoRunCore)
+	return sim.Result{
+		CoRunName:    k.Name,
+		Intensity:    k.Intensity,
+		AvgCoRunMPKI: c.MPKI(),
+		AvgCoRunUtil: c.Utilization(),
+	}, nil
+}

@@ -1,0 +1,246 @@
+// Package experiment reproduces every table and figure of the DORA
+// paper's evaluation (Section V) on the simulated device: the
+// characterization figures (Fig. 1-3), the workload classification
+// (Table III), model accuracy CDFs (Fig. 5), sensitivity analysis
+// (Fig. 6), the governor comparison (Fig. 7-9), the leakage ablation
+// (Fig. 10), the deadline sweep (Fig. 11), the controller overhead
+// analysis (Section V-H), and the headline energy-efficiency numbers.
+//
+// A Suite owns the trained models and memoizes page-load runs, so the
+// full figure set shares one measurement matrix the way the paper's
+// evaluation shares one set of phone experiments.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dora/internal/core"
+	"dora/internal/corun"
+	"dora/internal/governor"
+	"dora/internal/sim"
+	"dora/internal/soc"
+	"dora/internal/train"
+	"dora/internal/webgen"
+)
+
+// Deadline is the paper's default QoS target.
+const Deadline = 3 * time.Second
+
+// DORAInterval is the paper's chosen decision interval (Section IV-C).
+const DORAInterval = 100 * time.Millisecond
+
+// Suite carries trained models and caches run results.
+type Suite struct {
+	SoC    soc.Config
+	Models *core.Models
+	Static core.StaticPower
+	// TrainReport holds training-set accuracy; HoldoutReport the
+	// Webpage-Neutral accuracy (Fig. 5 uses both).
+	TrainReport   train.Report
+	HoldoutReport train.Report
+	Observations  []train.Observation
+	Seed          int64
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// TrainingConfig controls how the suite's models are produced.
+type TrainingConfig struct {
+	SoC  soc.Config
+	Seed int64
+	// Fast shrinks the campaign grid (fewer pages/frequencies) for
+	// tests; figures built from a Fast suite keep their shape but not
+	// their full resolution.
+	Fast bool
+}
+
+// NewSuite runs the training pipeline and returns a ready suite.
+func NewSuite(cfg TrainingConfig) (*Suite, error) {
+	tc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed}
+	if cfg.Fast {
+		tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
+		tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
+	}
+	obs, err := train.Campaign(tc)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: campaign: %w", err)
+	}
+	static, err := train.FitStatic(train.Config{SoC: cfg.SoC, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: static fit: %w", err)
+	}
+	models, rep, err := train.Fit(obs, static, 30)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: model fit: %w", err)
+	}
+	s := &Suite{
+		SoC:          cfg.SoC,
+		Models:       models,
+		Static:       static,
+		TrainReport:  rep,
+		Observations: obs,
+		Seed:         cfg.Seed,
+		cache:        map[string]sim.Result{},
+	}
+	// Holdout (Webpage-Neutral) accuracy: measure the 4 held-out pages
+	// and evaluate the trained models on them.
+	hc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed + 10_000, Pages: webgen.HoldoutNames()}
+	if cfg.Fast {
+		hc.Pages = hc.Pages[:2]
+		hc.FreqsMHz = tc.FreqsMHz
+	}
+	hobs, err := train.Campaign(hc)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: holdout campaign: %w", err)
+	}
+	s.HoldoutReport, err = train.Evaluate(models, hobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: holdout eval: %w", err)
+	}
+	return s, nil
+}
+
+// GovernorNames are the policies compared throughout Section V.
+var GovernorNames = []string{"interactive", "performance", "DL", "EE", "DORA", "DORA_no_lkg", "powersave", "ondemand", "conservative"}
+
+// NewGovernor builds a fresh governor instance by paper name.
+func (s *Suite) NewGovernor(name string) (governor.Governor, time.Duration, error) {
+	switch name {
+	case "interactive":
+		return governor.NewInteractive(governor.DefaultInteractiveConfig()), 20 * time.Millisecond, nil
+	case "performance":
+		return governor.NewPerformance(), 20 * time.Millisecond, nil
+	case "powersave":
+		return governor.NewPowersave(), 20 * time.Millisecond, nil
+	case "ondemand":
+		return governor.NewOndemand(governor.DefaultOndemandConfig()), 50 * time.Millisecond, nil
+	case "conservative":
+		return governor.NewConservative(governor.DefaultConservativeConfig()), 20 * time.Millisecond, nil
+	case "DL":
+		g, err := core.New(s.Models, core.Options{Mode: core.ModeDL, UseLeakage: true, DeadlineMargin: 0.93})
+		return g, DORAInterval, err
+	case "EE":
+		g, err := core.New(s.Models, core.Options{Mode: core.ModeEE, UseLeakage: true})
+		return g, DORAInterval, err
+	case "DORA":
+		g, err := core.New(s.Models, core.Options{Mode: core.ModeDORA, UseLeakage: true})
+		return g, DORAInterval, err
+	case "DORA_no_lkg":
+		g, err := core.New(s.Models, core.Options{Mode: core.ModeDORA, UseLeakage: false})
+		return g, DORAInterval, err
+	default:
+		return nil, 0, fmt.Errorf("experiment: unknown governor %q", name)
+	}
+}
+
+// RunOptions identify one memoized measurement.
+type RunOptions struct {
+	Page       string
+	Intensity  corun.Intensity
+	KernelIdx  int // rotation index for PickFor
+	Governor   string
+	Deadline   time.Duration
+	FixedMHz   int     // >0 pins a fixed OPP instead of Governor
+	AmbientC   float64 // 0 = default
+	StartTempC float64 // 0 = default prewarm
+	Warmup     time.Duration
+}
+
+// Run executes (or returns the cached) measurement for the options.
+func (s *Suite) Run(o RunOptions) (sim.Result, error) {
+	if o.Deadline == 0 {
+		o.Deadline = Deadline
+	}
+	key := fmt.Sprintf("%s|%v|%d|%s|%d|%v|%v|%v|%v", o.Page, o.Intensity, o.KernelIdx, o.Governor, o.FixedMHz, o.Deadline, o.AmbientC, o.StartTempC, o.Warmup)
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	spec, err := webgen.ByName(o.Page)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var gov governor.Governor
+	interval := 20 * time.Millisecond
+	if o.FixedMHz > 0 {
+		opp, err := s.SoC.OPPs.ByFreq(o.FixedMHz)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		gov = governor.NewFixed(opp)
+	} else {
+		gov, interval, err = s.NewGovernor(o.Governor)
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+	wl := sim.Workload{Page: spec}
+	if o.Intensity != corun.None {
+		k, err := corun.PickFor(o.Intensity, o.KernelIdx)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		wl.CoRun = &k
+	}
+	opts := sim.Options{
+		SoC:              s.SoC,
+		Governor:         gov,
+		Deadline:         o.Deadline,
+		DecisionInterval: interval,
+		Seed:             s.Seed + int64(o.KernelIdx)*31 + int64(len(o.Page)),
+		AmbientC:         o.AmbientC,
+		Warmup:           o.Warmup,
+	}
+	if o.StartTempC != 0 {
+		opts.StartTempC = o.StartTempC
+	} else if o.AmbientC != 0 && o.AmbientC < 20 {
+		opts.StartTempC = o.AmbientC + 2
+	}
+	r, err := sim.LoadPage(opts, wl)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// WorkloadCombo is one of the 54 evaluated combinations.
+type WorkloadCombo struct {
+	Index     int
+	Page      string
+	Intensity corun.Intensity
+	Inclusive bool // page was in the training set
+}
+
+// Combos returns the paper's 54 workload combinations: 18 pages x 3
+// interference intensities, kernels rotated deterministically within
+// each intensity class.
+func Combos() []WorkloadCombo {
+	var out []WorkloadCombo
+	idx := 0
+	for pi, page := range webgen.Names() {
+		for _, in := range []corun.Intensity{corun.Low, corun.Medium, corun.High} {
+			out = append(out, WorkloadCombo{
+				Index:     idx,
+				Page:      page,
+				Intensity: in,
+				Inclusive: !webgen.IsHoldout(page),
+			})
+			idx++
+			_ = pi
+		}
+	}
+	return out
+}
+
+// KernelIdxFor gives the rotation index used for a combo (stable by
+// page position so the same page+intensity always gets one kernel).
+func KernelIdxFor(c WorkloadCombo) int { return c.Index / 3 }

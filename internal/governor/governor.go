@@ -1,0 +1,221 @@
+// Package governor defines the CPU frequency governor abstraction and
+// the cpufreq baselines the paper compares against: performance (pin to
+// max), powersave (pin to min), and interactive — the default Android
+// governor, reimplemented with its hispeed / target-load /
+// min-sample-time semantics. The classic Linux ondemand and
+// conservative governors are included as additional period-correct
+// baselines.
+//
+// DORA itself, and the paper's hypothetical model-based governors DL
+// (deadline-only) and EE (energy-only), live in the core package; they
+// satisfy the same Governor interface.
+package governor
+
+import (
+	"time"
+
+	"dora/internal/dvfs"
+	"dora/internal/perfmon"
+)
+
+// Context is what a user-space governor can observe at a decision
+// point: time, the OPP table, current OPP, per-core counter windows
+// (the delta since the previous decision), temperatures, and — for
+// QoS-aware governors — the loading page's complexity features, the
+// deadline, and how long the load has been running.
+type Context struct {
+	Now      time.Duration
+	Elapsed  time.Duration // since page-load start (0 if no load active)
+	Deadline time.Duration // QoS target (0 = none)
+
+	Table   *dvfs.Table
+	Current dvfs.OPP
+
+	// Windows holds per-core counter deltas over the last decision
+	// interval, indexed by core ID.
+	Windows []perfmon.Counters
+	// BrowserCores and CoRunCores identify which cores run the
+	// foreground browser and the co-scheduled workloads.
+	BrowserCores []int
+	CoRunCores   []int
+
+	// PageFeatures are the five Table I complexity features of the
+	// page being loaded (nil when no load is in flight).
+	PageFeatures []float64
+
+	SoCTempC float64
+}
+
+// CoRunMPKI returns the aggregate L2 MPKI of the co-scheduled cores —
+// model input X6.
+func (c Context) CoRunMPKI() float64 {
+	var agg perfmon.Counters
+	for _, i := range c.CoRunCores {
+		if i >= 0 && i < len(c.Windows) {
+			agg = agg.Add(c.Windows[i])
+		}
+	}
+	return agg.MPKI()
+}
+
+// CoRunUtilization returns the mean utilization of the co-scheduled
+// cores — model input X9.
+func (c Context) CoRunUtilization() float64 {
+	if len(c.CoRunCores) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range c.CoRunCores {
+		if i >= 0 && i < len(c.Windows) {
+			s += c.Windows[i].Utilization()
+		}
+	}
+	return s / float64(len(c.CoRunCores))
+}
+
+// MaxUtilization returns the highest per-core utilization — what
+// cpufreq-style governors react to.
+func (c Context) MaxUtilization() float64 {
+	m := 0.0
+	for _, w := range c.Windows {
+		if u := w.Utilization(); u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// Governor picks an operating point at each decision interval.
+type Governor interface {
+	// Name identifies the governor in reports ("interactive", ...).
+	Name() string
+	// Decide returns the OPP to run until the next decision.
+	Decide(ctx Context) dvfs.OPP
+	// Reset clears internal state between experiment runs.
+	Reset()
+}
+
+// --- performance ----------------------------------------------------
+
+type performance struct{}
+
+// NewPerformance returns the governor that pins the maximum OPP.
+func NewPerformance() Governor { return performance{} }
+
+func (performance) Name() string                { return "performance" }
+func (performance) Decide(ctx Context) dvfs.OPP { return ctx.Table.Max() }
+func (performance) Reset()                      {}
+
+// --- powersave -------------------------------------------------------
+
+type powersave struct{}
+
+// NewPowersave returns the governor that pins the minimum OPP.
+func NewPowersave() Governor { return powersave{} }
+
+func (powersave) Name() string                { return "powersave" }
+func (powersave) Decide(ctx Context) dvfs.OPP { return ctx.Table.Min() }
+func (powersave) Reset()                      {}
+
+// --- interactive ------------------------------------------------------
+
+// InteractiveConfig mirrors the tunables of Android's interactive
+// governor (values are the platform defaults for the Nexus 5 era).
+type InteractiveConfig struct {
+	// HispeedFreqMHz is the frequency jumped to when load crosses
+	// GoHispeedLoad.
+	HispeedFreqMHz int
+	// GoHispeedLoad is the load threshold for the hispeed jump.
+	GoHispeedLoad float64
+	// TargetLoad is the utilization the governor steers towards.
+	TargetLoad float64
+	// MinSampleTime is how long a frequency must be held before the
+	// governor is allowed to ramp down.
+	MinSampleTime time.Duration
+	// AboveHispeedDelay throttles ramping beyond hispeed.
+	AboveHispeedDelay time.Duration
+}
+
+// DefaultInteractiveConfig returns the stock tunables.
+func DefaultInteractiveConfig() InteractiveConfig {
+	return InteractiveConfig{
+		HispeedFreqMHz:    1190,
+		GoHispeedLoad:     0.85,
+		TargetLoad:        0.90,
+		MinSampleTime:     80 * time.Millisecond,
+		AboveHispeedDelay: 20 * time.Millisecond,
+	}
+}
+
+type interactive struct {
+	cfg InteractiveConfig
+
+	lastRaise  time.Duration
+	floorUntil time.Duration
+}
+
+// NewInteractive returns the Android default governor model.
+func NewInteractive(cfg InteractiveConfig) Governor {
+	return &interactive{cfg: cfg}
+}
+
+func (g *interactive) Name() string { return "interactive" }
+
+func (g *interactive) Reset() {
+	g.lastRaise = 0
+	g.floorUntil = 0
+}
+
+func (g *interactive) Decide(ctx Context) dvfs.OPP {
+	load := ctx.MaxUtilization()
+	cur := ctx.Current
+	tab := ctx.Table
+
+	// Load expressed at the current frequency; the frequency that
+	// would bring utilization to TargetLoad:
+	//   f_target = load * f_cur / TargetLoad
+	targetMHz := int(load * float64(cur.FreqMHz) / g.cfg.TargetLoad)
+	want := tab.Ceil(targetMHz)
+
+	// Hispeed jump: bursty load goes straight to hispeed.
+	if load >= g.cfg.GoHispeedLoad {
+		his := tab.Ceil(g.cfg.HispeedFreqMHz)
+		if want.FreqMHz < his.FreqMHz {
+			want = his
+		}
+		// Ramping above hispeed is rate-limited.
+		if want.FreqMHz > his.FreqMHz && cur.FreqMHz >= his.FreqMHz &&
+			ctx.Now-g.lastRaise < g.cfg.AboveHispeedDelay {
+			want = cur
+		}
+	}
+
+	switch {
+	case want.FreqMHz > cur.FreqMHz:
+		g.lastRaise = ctx.Now
+		g.floorUntil = ctx.Now + g.cfg.MinSampleTime
+		return want
+	case want.FreqMHz < cur.FreqMHz:
+		// Hold the floor for MinSampleTime after any raise.
+		if ctx.Now < g.floorUntil {
+			return cur
+		}
+		return want
+	default:
+		return cur
+	}
+}
+
+// --- fixed ------------------------------------------------------------
+
+type fixed struct {
+	opp dvfs.OPP
+}
+
+// NewFixed pins an arbitrary OPP — used by the offline-optimal
+// enumeration and by model training sweeps.
+func NewFixed(opp dvfs.OPP) Governor { return fixed{opp: opp} }
+
+func (f fixed) Name() string            { return "fixed" }
+func (f fixed) Decide(Context) dvfs.OPP { return f.opp }
+func (f fixed) Reset()                  {}

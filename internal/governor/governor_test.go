@@ -1,0 +1,129 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"dora/internal/dvfs"
+	"dora/internal/perfmon"
+)
+
+func ctxWith(util float64, cur dvfs.OPP, now time.Duration) Context {
+	busy := int64(util * 1e6)
+	return Context{
+		Now:     now,
+		Table:   dvfs.MSM8974(),
+		Current: cur,
+		Windows: []perfmon.Counters{{BusyNs: busy, IdleNs: 1e6 - busy}},
+	}
+}
+
+func TestPerformancePowersave(t *testing.T) {
+	tab := dvfs.MSM8974()
+	ctx := ctxWith(0.2, tab.Min(), 0)
+	if got := NewPerformance().Decide(ctx); got.FreqMHz != tab.Max().FreqMHz {
+		t.Fatalf("performance = %d", got.FreqMHz)
+	}
+	ctx = ctxWith(1.0, tab.Max(), 0)
+	if got := NewPowersave().Decide(ctx); got.FreqMHz != tab.Min().FreqMHz {
+		t.Fatalf("powersave = %d", got.FreqMHz)
+	}
+	if NewPerformance().Name() != "performance" || NewPowersave().Name() != "powersave" {
+		t.Fatal("names wrong")
+	}
+	NewPerformance().Reset()
+	NewPowersave().Reset()
+}
+
+func TestFixed(t *testing.T) {
+	tab := dvfs.MSM8974()
+	opp, _ := tab.ByFreq(1497)
+	g := NewFixed(opp)
+	if got := g.Decide(ctxWith(0.1, tab.Min(), 0)); got.FreqMHz != 1497 {
+		t.Fatalf("fixed = %d", got.FreqMHz)
+	}
+	g.Reset()
+}
+
+func TestInteractiveHispeedJump(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewInteractive(DefaultInteractiveConfig())
+	// Burst from idle at min frequency: load 1.0 -> jump at least to
+	// hispeed (1190).
+	got := g.Decide(ctxWith(1.0, tab.Min(), 10*time.Millisecond))
+	if got.FreqMHz < 1190 {
+		t.Fatalf("hispeed jump to %d, want >= 1190", got.FreqMHz)
+	}
+}
+
+func TestInteractiveTargetLoadSteering(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewInteractive(DefaultInteractiveConfig())
+	cur, _ := tab.ByFreq(2265)
+	// Light load at max: the governor must choose ~load*f/target.
+	got := g.Decide(ctxWith(0.3, cur, time.Second))
+	want := tab.Ceil(int(0.3 * 2265 / 0.9))
+	if got.FreqMHz != want.FreqMHz {
+		t.Fatalf("steered to %d, want %d", got.FreqMHz, want.FreqMHz)
+	}
+}
+
+func TestInteractiveMinSampleTimeFloor(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewInteractive(DefaultInteractiveConfig()).(*interactive)
+	// Ramp up at t=0.
+	up := g.Decide(ctxWith(1.0, tab.Min(), 0))
+	if up.FreqMHz <= tab.Min().FreqMHz {
+		t.Fatal("should ramp up")
+	}
+	// 20 ms later load drops; the floor must hold (min_sample_time 80ms).
+	hold := g.Decide(ctxWith(0.05, up, 20*time.Millisecond))
+	if hold.FreqMHz != up.FreqMHz {
+		t.Fatalf("dropped to %d before min_sample_time", hold.FreqMHz)
+	}
+	// 100 ms later the drop is allowed.
+	down := g.Decide(ctxWith(0.05, up, 120*time.Millisecond))
+	if down.FreqMHz >= up.FreqMHz {
+		t.Fatalf("still at %d after min_sample_time", down.FreqMHz)
+	}
+}
+
+func TestInteractiveStableAtTarget(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewInteractive(DefaultInteractiveConfig())
+	cur, _ := tab.ByFreq(1190)
+	// Utilization exactly at target: stay put.
+	got := g.Decide(ctxWith(0.90, cur, 500*time.Millisecond))
+	if got.FreqMHz < cur.FreqMHz {
+		t.Fatalf("moved from %d to %d at steady target load", cur.FreqMHz, got.FreqMHz)
+	}
+	g.Reset()
+}
+
+func TestContextAggregates(t *testing.T) {
+	w := []perfmon.Counters{
+		{Instructions: 1_000_000, L2Misses: 5_000, BusyNs: 900, IdleNs: 100},  // browser
+		{Instructions: 2_000_000, L2Misses: 20_000, BusyNs: 500, IdleNs: 500}, // corun
+		{Instructions: 1_000_000, L2Misses: 1_000, BusyNs: 250, IdleNs: 750},  // corun
+	}
+	ctx := Context{Windows: w, BrowserCores: []int{0}, CoRunCores: []int{1, 2}}
+	// Co-run MPKI over aggregate: (21000)/(3e6)*1000 = 7.
+	if got := ctx.CoRunMPKI(); got != 7 {
+		t.Fatalf("CoRunMPKI = %v, want 7", got)
+	}
+	if got := ctx.CoRunUtilization(); got != (0.5+0.25)/2 {
+		t.Fatalf("CoRunUtilization = %v", got)
+	}
+	if got := ctx.MaxUtilization(); got != 0.9 {
+		t.Fatalf("MaxUtilization = %v", got)
+	}
+	// Out-of-range core IDs are ignored.
+	ctx2 := Context{Windows: w, CoRunCores: []int{5}}
+	if ctx2.CoRunMPKI() != 0 {
+		t.Fatal("out-of-range co-run core must contribute nothing")
+	}
+	empty := Context{}
+	if empty.CoRunUtilization() != 0 || empty.MaxUtilization() != 0 {
+		t.Fatal("empty context aggregates must be zero")
+	}
+}

@@ -1,0 +1,109 @@
+package governor
+
+import (
+	"time"
+
+	"dora/internal/dvfs"
+)
+
+// OndemandConfig mirrors the tunables of the classic Linux ondemand
+// governor, the other widely deployed cpufreq policy of the Nexus 5
+// era.
+type OndemandConfig struct {
+	// UpThreshold: load above this jumps straight to the maximum.
+	UpThreshold float64
+	// DownDifferential: load must fall below UpThreshold minus this
+	// before the governor scales down.
+	DownDifferential float64
+	// SamplingDownFactor multiplies the hold time after a raise.
+	SamplingDownFactor int
+	// SamplingRate is the nominal evaluation period.
+	SamplingRate time.Duration
+}
+
+// DefaultOndemandConfig returns the kernel defaults.
+func DefaultOndemandConfig() OndemandConfig {
+	return OndemandConfig{
+		UpThreshold:        0.80,
+		DownDifferential:   0.10,
+		SamplingDownFactor: 2,
+		SamplingRate:       50 * time.Millisecond,
+	}
+}
+
+type ondemand struct {
+	cfg       OndemandConfig
+	holdUntil time.Duration
+}
+
+// NewOndemand returns the classic ondemand governor: jump to max on
+// high load, proportionally scale down when load falls.
+func NewOndemand(cfg OndemandConfig) Governor { return &ondemand{cfg: cfg} }
+
+func (g *ondemand) Name() string { return "ondemand" }
+
+func (g *ondemand) Reset() { g.holdUntil = 0 }
+
+func (g *ondemand) Decide(ctx Context) dvfs.OPP {
+	load := ctx.MaxUtilization()
+	cur := ctx.Current
+	tab := ctx.Table
+
+	if load >= g.cfg.UpThreshold {
+		// Race to max, and hold it for SamplingDownFactor periods.
+		g.holdUntil = ctx.Now + time.Duration(g.cfg.SamplingDownFactor)*g.cfg.SamplingRate
+		return tab.Max()
+	}
+	if ctx.Now < g.holdUntil {
+		return cur
+	}
+	if load > g.cfg.UpThreshold-g.cfg.DownDifferential {
+		return cur
+	}
+	// Proportional scale-down: pick the frequency that would put the
+	// observed load at UpThreshold-DownDifferential headroom.
+	target := int(load * float64(cur.FreqMHz) / (g.cfg.UpThreshold - g.cfg.DownDifferential))
+	return tab.Ceil(target)
+}
+
+// ConservativeConfig tunes the conservative governor, which steps one
+// OPP at a time instead of jumping.
+type ConservativeConfig struct {
+	UpThreshold   float64
+	DownThreshold float64
+}
+
+// DefaultConservativeConfig returns the kernel defaults.
+func DefaultConservativeConfig() ConservativeConfig {
+	return ConservativeConfig{UpThreshold: 0.80, DownThreshold: 0.20}
+}
+
+type conservative struct {
+	cfg ConservativeConfig
+}
+
+// NewConservative returns the conservative governor: gradual one-step
+// frequency changes driven by load thresholds.
+func NewConservative(cfg ConservativeConfig) Governor {
+	return &conservative{cfg: cfg}
+}
+
+func (g *conservative) Name() string { return "conservative" }
+
+func (g *conservative) Reset() {}
+
+func (g *conservative) Decide(ctx Context) dvfs.OPP {
+	load := ctx.MaxUtilization()
+	below, above, err := ctx.Table.Neighbors(ctx.Current.FreqMHz)
+	if err != nil {
+		return ctx.Current
+	}
+	switch {
+	case load >= g.cfg.UpThreshold:
+		return above
+	case load <= g.cfg.DownThreshold:
+		return below
+	default:
+		return ctx.Current
+	}
+}

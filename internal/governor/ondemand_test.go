@@ -1,0 +1,89 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"dora/internal/dvfs"
+)
+
+func TestOndemandRaceToMax(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewOndemand(DefaultOndemandConfig())
+	got := g.Decide(ctxWith(0.95, tab.Min(), 0))
+	if got.FreqMHz != tab.Max().FreqMHz {
+		t.Fatalf("high load must jump to max, got %d", got.FreqMHz)
+	}
+}
+
+func TestOndemandHoldAfterRaise(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewOndemand(DefaultOndemandConfig())
+	up := g.Decide(ctxWith(0.95, tab.Min(), 0))
+	// Load drops immediately: must hold for SamplingDownFactor periods.
+	hold := g.Decide(ctxWith(0.05, up, 20*time.Millisecond))
+	if hold.FreqMHz != up.FreqMHz {
+		t.Fatalf("dropped to %d inside the hold window", hold.FreqMHz)
+	}
+	down := g.Decide(ctxWith(0.05, up, 200*time.Millisecond))
+	if down.FreqMHz >= up.FreqMHz {
+		t.Fatalf("still at %d after the hold window", down.FreqMHz)
+	}
+}
+
+func TestOndemandProportionalDown(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewOndemand(DefaultOndemandConfig())
+	cur, _ := tab.ByFreq(2265)
+	got := g.Decide(ctxWith(0.30, cur, time.Second))
+	targetMHz := 0.30 * 2265 / 0.70
+	want := tab.Ceil(int(targetMHz))
+	if got.FreqMHz != want.FreqMHz {
+		t.Fatalf("scaled to %d, want %d", got.FreqMHz, want.FreqMHz)
+	}
+	// Load in the dead band: stay.
+	stay := g.Decide(ctxWith(0.75, cur, 2*time.Second))
+	if stay.FreqMHz != cur.FreqMHz {
+		t.Fatalf("dead-band load moved frequency to %d", stay.FreqMHz)
+	}
+	g.Reset()
+	if g.Name() != "ondemand" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestConservativeSteps(t *testing.T) {
+	tab := dvfs.MSM8974()
+	g := NewConservative(DefaultConservativeConfig())
+	cur, _ := tab.ByFreq(960)
+	up := g.Decide(ctxWith(0.95, cur, 0))
+	if up.FreqMHz != 1036 {
+		t.Fatalf("must step one OPP up (1036), got %d", up.FreqMHz)
+	}
+	down := g.Decide(ctxWith(0.05, cur, 0))
+	if down.FreqMHz != 883 {
+		t.Fatalf("must step one OPP down (883), got %d", down.FreqMHz)
+	}
+	stay := g.Decide(ctxWith(0.5, cur, 0))
+	if stay.FreqMHz != cur.FreqMHz {
+		t.Fatalf("mid load must hold, got %d", stay.FreqMHz)
+	}
+	// Edges clamp.
+	atMax := g.Decide(ctxWith(0.95, tab.Max(), 0))
+	if atMax.FreqMHz != tab.Max().FreqMHz {
+		t.Fatal("step above max must clamp")
+	}
+	atMin := g.Decide(ctxWith(0.01, tab.Min(), 0))
+	if atMin.FreqMHz != tab.Min().FreqMHz {
+		t.Fatal("step below min must clamp")
+	}
+	g.Reset()
+	if g.Name() != "conservative" {
+		t.Fatal("name wrong")
+	}
+	// Unknown current frequency: hold.
+	weird := Context{Table: tab, Current: dvfs.OPP{FreqMHz: 777}}
+	if got := g.Decide(weird); got.FreqMHz != 777 {
+		t.Fatal("unknown OPP must hold")
+	}
+}

@@ -1,0 +1,122 @@
+package membus
+
+import (
+	"errors"
+)
+
+// BankModel adds DRAM bank and row-buffer state on top of the windowed
+// bus model: each access maps to a bank and row; hitting the open row
+// is fast, a row conflict pays precharge + activate. This refines the
+// flat BaseLatency with address-dependent behaviour (sequential streams
+// enjoy open-row hits; random traffic thrashes rows and pays more).
+//
+// The refinement is optional — the calibrated reproduction uses the
+// flat latency (which the row-hit/miss mix averages to); the bank model
+// exists for fidelity studies and is exercised by its own tests and
+// benchmarks.
+type BankModel struct {
+	banks   int
+	rowBits uint // bytes per row = 1 << rowBits
+	openRow []int64
+	valid   []bool
+
+	// Latencies in nanoseconds.
+	RowHitNs      float64
+	RowMissNs     float64
+	RowConflictNs float64
+
+	hits, misses, conflicts uint64
+}
+
+// BankConfig sizes the bank model.
+type BankConfig struct {
+	Banks    int // power of two
+	RowBytes int // power of two (row-buffer size)
+
+	RowHitNs      float64 // CAS only
+	RowMissNs     float64 // activate + CAS (bank idle/precharged)
+	RowConflictNs float64 // precharge + activate + CAS
+}
+
+// DefaultLPDDR3Banks returns LPDDR3-class bank timing: 8 banks, 1 KB
+// rows, tCL ~ 15 ns, tRCD+tCL ~ 33 ns, tRP+tRCD+tCL ~ 50 ns, plus the
+// controller/interconnect overhead that the flat model folds into
+// BaseLatency.
+func DefaultLPDDR3Banks() BankConfig {
+	return BankConfig{
+		Banks:         8,
+		RowBytes:      1024,
+		RowHitNs:      70,
+		RowMissNs:     100,
+		RowConflictNs: 135,
+	}
+}
+
+// NewBankModel builds the model.
+func NewBankModel(cfg BankConfig) (*BankModel, error) {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		return nil, errors.New("membus: banks must be a positive power of two")
+	}
+	if cfg.RowBytes <= 0 || cfg.RowBytes&(cfg.RowBytes-1) != 0 {
+		return nil, errors.New("membus: row bytes must be a positive power of two")
+	}
+	if cfg.RowHitNs <= 0 || cfg.RowMissNs < cfg.RowHitNs || cfg.RowConflictNs < cfg.RowMissNs {
+		return nil, errors.New("membus: latencies must satisfy hit <= miss <= conflict")
+	}
+	rowBits := uint(0)
+	for b := cfg.RowBytes; b > 1; b >>= 1 {
+		rowBits++
+	}
+	return &BankModel{
+		banks:         cfg.Banks,
+		rowBits:       rowBits,
+		openRow:       make([]int64, cfg.Banks),
+		valid:         make([]bool, cfg.Banks),
+		RowHitNs:      cfg.RowHitNs,
+		RowMissNs:     cfg.RowMissNs,
+		RowConflictNs: cfg.RowConflictNs,
+	}, nil
+}
+
+// AccessNs returns the DRAM service latency for the address and updates
+// the open-row state.
+func (b *BankModel) AccessNs(addr uint64) float64 {
+	row := int64(addr >> b.rowBits)
+	bank := int(row) & (b.banks - 1)
+	switch {
+	case b.valid[bank] && b.openRow[bank] == row:
+		b.hits++
+		return b.RowHitNs
+	case !b.valid[bank]:
+		b.misses++
+		b.valid[bank] = true
+		b.openRow[bank] = row
+		return b.RowMissNs
+	default:
+		b.conflicts++
+		b.openRow[bank] = row
+		return b.RowConflictNs
+	}
+}
+
+// Stats reports the access mix so far.
+func (b *BankModel) Stats() (hits, misses, conflicts uint64) {
+	return b.hits, b.misses, b.conflicts
+}
+
+// RowHitRate returns hits / total accesses (0 when idle).
+func (b *BankModel) RowHitRate() float64 {
+	total := b.hits + b.misses + b.conflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// Reset closes all rows and zeroes counters.
+func (b *BankModel) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	b.hits, b.misses, b.conflicts = 0, 0, 0
+}

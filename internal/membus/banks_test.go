@@ -1,0 +1,126 @@
+package membus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dora/internal/workload"
+)
+
+func newBanks(t *testing.T) *BankModel {
+	t.Helper()
+	b, err := NewBankModel(DefaultLPDDR3Banks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBankConfigValidation(t *testing.T) {
+	bad := []BankConfig{
+		{Banks: 3, RowBytes: 1024, RowHitNs: 1, RowMissNs: 2, RowConflictNs: 3},
+		{Banks: 8, RowBytes: 1000, RowHitNs: 1, RowMissNs: 2, RowConflictNs: 3},
+		{Banks: 8, RowBytes: 1024, RowHitNs: 0, RowMissNs: 2, RowConflictNs: 3},
+		{Banks: 8, RowBytes: 1024, RowHitNs: 5, RowMissNs: 2, RowConflictNs: 3},
+		{Banks: 8, RowBytes: 1024, RowHitNs: 1, RowMissNs: 4, RowConflictNs: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBankModel(cfg); err == nil {
+			t.Errorf("config %d must fail", i)
+		}
+	}
+	if _, err := NewBankModel(DefaultLPDDR3Banks()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBufferBehaviour(t *testing.T) {
+	b := newBanks(t)
+	cfg := DefaultLPDDR3Banks()
+	// First touch of a row: miss.
+	if got := b.AccessNs(0); got != cfg.RowMissNs {
+		t.Fatalf("cold access = %v, want miss %v", got, cfg.RowMissNs)
+	}
+	// Same row: hit.
+	if got := b.AccessNs(64); got != cfg.RowHitNs {
+		t.Fatalf("same-row access = %v, want hit %v", got, cfg.RowHitNs)
+	}
+	// Different row, same bank (banks*rowBytes apart): conflict.
+	stride := uint64(cfg.Banks * cfg.RowBytes)
+	if got := b.AccessNs(stride); got != cfg.RowConflictNs {
+		t.Fatalf("same-bank new-row = %v, want conflict %v", got, cfg.RowConflictNs)
+	}
+	h, m, c := b.Stats()
+	if h != 1 || m != 1 || c != 1 {
+		t.Fatalf("stats = %d/%d/%d", h, m, c)
+	}
+	b.Reset()
+	if b.RowHitRate() != 0 {
+		t.Fatal("reset must clear stats")
+	}
+	if got := b.AccessNs(0); got != cfg.RowMissNs {
+		t.Fatal("reset must close rows")
+	}
+}
+
+func TestSequentialBeatsRandom(t *testing.T) {
+	// A sequential stream enjoys far higher row-hit rates than a random
+	// one — the fidelity the bank model adds over the flat latency.
+	measure := func(pattern workload.Pattern) float64 {
+		b, err := NewBankModel(DefaultLPDDR3Banks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewRefGen(workload.Segment{
+			FootprintBytes: 32 << 20, Pattern: pattern, Base: 0,
+		}, 3)
+		for i := 0; i < 50_000; i++ {
+			b.AccessNs(gen.Next())
+		}
+		return b.RowHitRate()
+	}
+	seq := measure(workload.Sequential)
+	rnd := measure(workload.Random)
+	if seq < 0.85 {
+		t.Fatalf("sequential row-hit rate = %v, want high", seq)
+	}
+	if rnd > 0.2 {
+		t.Fatalf("random row-hit rate = %v, want low", rnd)
+	}
+	if seq <= rnd {
+		t.Fatal("sequential must beat random")
+	}
+}
+
+func TestBankMeanLatencyNearFlatModel(t *testing.T) {
+	// The calibrated flat BaseLatency (100 ns) sits inside the bank
+	// model's hit/conflict band, so the flat model is the mix average.
+	cfg := DefaultLPDDR3Banks()
+	flat := DefaultLPDDR3().BaseLatency.Seconds() * 1e9
+	if flat < cfg.RowHitNs || flat > cfg.RowConflictNs {
+		t.Fatalf("flat latency %v outside bank band [%v, %v]", flat, cfg.RowHitNs, cfg.RowConflictNs)
+	}
+}
+
+// Property: every access latency is one of the three configured values,
+// and the stats always sum to the access count.
+func TestBankInvariantsProperty(t *testing.T) {
+	cfg := DefaultLPDDR3Banks()
+	f := func(addrs []uint64) bool {
+		b, err := NewBankModel(cfg)
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			ns := b.AccessNs(a)
+			if ns != cfg.RowHitNs && ns != cfg.RowMissNs && ns != cfg.RowConflictNs {
+				return false
+			}
+		}
+		h, m, c := b.Stats()
+		return h+m+c == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

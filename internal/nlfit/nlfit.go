@@ -1,0 +1,166 @@
+// Package nlfit provides derivative-free nonlinear minimization via the
+// Nelder-Mead simplex method, used to fit the paper's empirical leakage
+// power model (Eq. 5, after Liao et al.): the model is nonlinear in its
+// parameters (exponentials of affine forms), so linear least squares
+// does not apply.
+package nlfit
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Objective is a scalar function of a parameter vector.
+type Objective func(params []float64) float64
+
+// Options controls the Nelder-Mead search.
+type Options struct {
+	// MaxIter bounds the number of simplex iterations (default 2000).
+	MaxIter int
+	// Tol is the convergence threshold on the simplex value spread
+	// (default 1e-10).
+	Tol float64
+	// InitialStep is the per-dimension simplex seed offset (default:
+	// 5% of |x0_i|, or 0.05 when x0_i is 0).
+	InitialStep []float64
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          []float64 // best parameters found
+	Value      float64   // objective at X
+	Iterations int
+	Converged  bool
+}
+
+// Minimize runs Nelder-Mead from x0 and returns the best point found.
+func Minimize(f Objective, x0 []float64, opt Options) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, errors.New("nlfit: empty initial point")
+	}
+	if f == nil {
+		return Result{}, errors.New("nlfit: nil objective")
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	// Standard coefficients: reflection, expansion, contraction, shrink.
+	const alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		step := 0.05
+		if i < len(opt.InitialStep) && opt.InitialStep[i] != 0 {
+			step = opt.InitialStep[i]
+		} else if x0[i] != 0 {
+			step = 0.05 * math.Abs(x0[i])
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	centroid := make([]float64, n)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+		best, worst := simplex[0], simplex[n]
+		if math.Abs(worst.v-best.v) <= tol*(math.Abs(best.v)+tol) {
+			return Result{X: best.x, Value: best.v, Iterations: iter, Converged: true}, nil
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j, v := range simplex[i].x {
+				centroid[j] += v
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		// Reflection.
+		refl := make([]float64, n)
+		for j := range refl {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		rv := eval(refl)
+		switch {
+		case rv < best.v:
+			// Expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			if ev := eval(exp); ev < rv {
+				simplex[n] = vertex{exp, ev}
+			} else {
+				simplex[n] = vertex{refl, rv}
+			}
+		case rv < simplex[n-1].v:
+			simplex[n] = vertex{refl, rv}
+		default:
+			// Contraction (toward the better of worst/reflected).
+			contractBase := worst.x
+			baseV := worst.v
+			if rv < worst.v {
+				contractBase = refl
+				baseV = rv
+			}
+			contr := make([]float64, n)
+			for j := range contr {
+				contr[j] = centroid[j] + rho*(contractBase[j]-centroid[j])
+			}
+			if cv := eval(contr); cv < baseV {
+				simplex[n] = vertex{contr, cv}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+	return Result{X: simplex[0].x, Value: simplex[0].v, Iterations: iter, Converged: false}, nil
+}
+
+// SumSquaredResiduals builds a least-squares objective from a model
+// function and observations: f(params) = sum_i (model(params, xs[i]) - ys[i])^2.
+func SumSquaredResiduals(model func(params, x []float64) float64, xs [][]float64, ys []float64) Objective {
+	return func(params []float64) float64 {
+		s := 0.0
+		for i := range xs {
+			d := model(params, xs[i]) - ys[i]
+			s += d * d
+		}
+		return s
+	}
+}

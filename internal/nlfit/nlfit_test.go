@@ -1,0 +1,133 @@
+package nlfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2) + 5
+	}
+	res, err := Minimize(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("should converge on a quadratic bowl")
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+2) > 1e-4 {
+		t.Fatalf("minimum at %v, want (3,-2)", res.X)
+	}
+	if math.Abs(res.Value-5) > 1e-6 {
+		t.Fatalf("value = %v, want 5", res.Value)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a, b := 1.0, 100.0
+		return (a-x[0])*(a-x[0]) + b*(x[1]-x[0]*x[0])*(x[1]-x[0]*x[0])
+	}
+	res, err := Minimize(f, []float64{-1.2, 1}, Options{MaxIter: 20000, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, err := Minimize(func([]float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Fatal("empty x0 must error")
+	}
+	if _, err := Minimize(nil, []float64{1}, Options{}); err == nil {
+		t.Fatal("nil objective must error")
+	}
+}
+
+func TestMinimizeHandlesNaN(t *testing.T) {
+	// Objective NaN outside a valid region must not derail the search.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res, err := Minimize(f, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 {
+		t.Fatalf("minimum at %v, want 2", res.X)
+	}
+}
+
+func TestMinimizeIterationBudget(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return x[0] * x[0] }
+	res, err := Minimize(f, []float64{100}, Options{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("3 iterations should not converge from x=100")
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("Iterations = %d, want 3", res.Iterations)
+	}
+}
+
+// Fit the paper's leakage model form on synthetic ground truth and
+// check parameter-level recovery of the predictions.
+func TestLeakageFormRecovery(t *testing.T) {
+	// Plkg = k1*v*T^2*exp(alpha*v + beta*T) + k2*exp(gamma*v + delta)
+	model := func(p, x []float64) float64 {
+		v, T := x[0], x[1]
+		return p[0]*v*T*T*math.Exp(p[1]*v+p[2]*T) + p[3]*math.Exp(p[4]*v+p[5])
+	}
+	truth := []float64{2.0e-4, 1.1, 0.009, 0.02, 1.4, -1.2}
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		v := 0.8 + rng.Float64()*0.35 // volts
+		T := 300 + rng.Float64()*50   // kelvin
+		xs = append(xs, []float64{v, T})
+		ys = append(ys, model(truth, []float64{v, T}))
+	}
+	obj := SumSquaredResiduals(model, xs, ys)
+	start := []float64{1.5e-4, 1.0, 0.01, 0.03, 1.0, -1.0}
+	res, err := Minimize(obj, start, Options{MaxIter: 60000, Tol: 1e-16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameter identifiability is weak for exponential sums; require
+	// the *predictions* to match well instead of raw parameters.
+	worst := 0.0
+	for i := range xs {
+		p := model(res.X, xs[i])
+		rel := math.Abs(p-ys[i]) / ys[i]
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("worst relative prediction error %v > 2%%", worst)
+	}
+}
+
+func TestSumSquaredResidualsZeroAtTruth(t *testing.T) {
+	model := func(p, x []float64) float64 { return p[0] * x[0] }
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{2, 4, 6}
+	obj := SumSquaredResiduals(model, xs, ys)
+	if obj([]float64{2}) != 0 {
+		t.Fatal("objective must be zero at the true parameters")
+	}
+	if obj([]float64{1}) <= 0 {
+		t.Fatal("objective must be positive away from truth")
+	}
+}

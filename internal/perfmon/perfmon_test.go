@@ -1,0 +1,68 @@
+package perfmon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubAdd(t *testing.T) {
+	a := Counters{Instructions: 100, BusyNs: 50, StallNs: 10, IdleNs: 50, L2Accesses: 20, L2Misses: 5, BusTx: 5}
+	b := Counters{Instructions: 300, BusyNs: 150, StallNs: 40, IdleNs: 70, L2Accesses: 60, L2Misses: 15, BusTx: 12}
+	d := b.Sub(a)
+	if d.Instructions != 200 || d.BusyNs != 100 || d.StallNs != 30 || d.IdleNs != 20 ||
+		d.L2Accesses != 40 || d.L2Misses != 10 || d.BusTx != 7 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	s := a.Add(d)
+	if s != b {
+		t.Fatalf("Add round trip: %+v != %+v", s, b)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{Instructions: 2000, BusyNs: 750, StallNs: 250, IdleNs: 250, L2Accesses: 40, L2Misses: 10}
+	if got := c.Utilization(); got != 0.75 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if got := c.StallFraction(); got != 250.0/750.0 {
+		t.Fatalf("StallFraction = %v", got)
+	}
+	if got := c.MPKI(); got != 5 {
+		t.Fatalf("MPKI = %v, want 5", got)
+	}
+	if got := c.L2APKI(); got != 20 {
+		t.Fatalf("L2APKI = %v, want 20", got)
+	}
+	if got := c.Window(); got != time.Duration(1000) {
+		t.Fatalf("Window = %v", got)
+	}
+}
+
+func TestDerivedMetricsZeroSafe(t *testing.T) {
+	var c Counters
+	if c.Utilization() != 0 || c.StallFraction() != 0 || c.MPKI() != 0 || c.L2APKI() != 0 {
+		t.Fatal("zero counters must yield zero metrics")
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler()
+	first := s.Window(0, Counters{Instructions: 100, BusyNs: 10})
+	if first.Instructions != 100 {
+		t.Fatalf("first window = %+v", first)
+	}
+	second := s.Window(0, Counters{Instructions: 250, BusyNs: 30})
+	if second.Instructions != 150 || second.BusyNs != 20 {
+		t.Fatalf("second window = %+v", second)
+	}
+	// Independent core streams.
+	other := s.Window(1, Counters{Instructions: 40})
+	if other.Instructions != 40 {
+		t.Fatalf("core-1 window = %+v", other)
+	}
+	s.Reset()
+	again := s.Window(0, Counters{Instructions: 300})
+	if again.Instructions != 300 {
+		t.Fatalf("post-reset window = %+v", again)
+	}
+}

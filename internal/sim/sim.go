@@ -1,0 +1,337 @@
+// Package sim drives end-to-end experiments on the simulated device:
+// it places the browser's two threads and the co-scheduled application
+// on cores the way the paper does (Firefox on two cores, the co-runner
+// on the third, the fourth core off), runs the governor at its decision
+// interval, and measures the quantities the paper reports — page load
+// time, whole-device energy, PPW, co-runner MPKI and utilization, and
+// frequency residency.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dora/internal/corun"
+	"dora/internal/governor"
+	"dora/internal/perfmon"
+	"dora/internal/power"
+	"dora/internal/render"
+	"dora/internal/soc"
+	"dora/internal/webdoc"
+	"dora/internal/webgen"
+	"dora/internal/workload"
+)
+
+// Core placement, as in the paper's methodology section.
+const (
+	BrowserMainCore   = 0
+	BrowserHelperCore = 1
+	CoRunCore         = 2
+	OffCore           = 3
+)
+
+// Options configures a run.
+type Options struct {
+	SoC              soc.Config
+	Governor         governor.Governor
+	Deadline         time.Duration // QoS target (default 3 s)
+	DecisionInterval time.Duration // governor cadence (default 20 ms)
+	Warmup           time.Duration // co-runner-only lead-in (default 500 ms)
+	MaxLoadTime      time.Duration // abort cutoff (default 30 s)
+	Seed             int64
+	AmbientC         float64        // 0 = config default
+	StartTempC       float64        // SoC prewarm temperature (default 38)
+	RenderConfig     *render.Config // nil = render.DefaultConfig()
+	// TraceFn, when set, receives one observability sample per
+	// simulated millisecond (frequency, power, temperature, bus
+	// utilization) for the whole run including warmup.
+	TraceFn func(soc.TraceSample)
+}
+
+func (o *Options) fillDefaults() {
+	if o.Deadline == 0 {
+		o.Deadline = 3 * time.Second
+	}
+	if o.DecisionInterval == 0 {
+		o.DecisionInterval = 20 * time.Millisecond
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500 * time.Millisecond
+	}
+	if o.MaxLoadTime == 0 {
+		o.MaxLoadTime = 30 * time.Second
+	}
+	if o.StartTempC == 0 {
+		o.StartTempC = 38
+	}
+}
+
+// Workload pairs a page with a co-scheduled kernel.
+type Workload struct {
+	Page  webgen.Spec
+	CoRun *corun.Kernel // nil = browser alone
+}
+
+// Result is one measured page load.
+type Result struct {
+	Page      string
+	CoRunName string
+	Intensity corun.Intensity
+	Governor  string
+
+	LoadTime    time.Duration
+	DeadlineMet bool
+	TimedOut    bool
+
+	EnergyJ   float64 // whole-device energy over the load
+	AvgPowerW float64
+	PPW       float64 // 1 / (load time x avg power)
+
+	AvgCoRunMPKI float64
+	AvgCoRunUtil float64
+	// CoRunInstructions is the number of co-runner instructions that
+	// executed during the load (for energy-attribution analyses).
+	CoRunInstructions uint64
+	StartTempC        float64
+	AvgSoCTempC       float64
+	MaxSoCTempC       float64
+	Switches          int
+
+	// FreqResidency maps core frequency (MHz) to time spent there
+	// during the load.
+	FreqResidency map[int]time.Duration
+
+	Features webdoc.Features
+}
+
+// LoadPage runs one page load under the configured governor and
+// returns its measurements.
+func LoadPage(opts Options, wl Workload) (Result, error) {
+	opts.fillDefaults()
+	if opts.Governor == nil {
+		return Result{}, errors.New("sim: nil governor")
+	}
+	if wl.Page.Name == "" {
+		return Result{}, errors.New("sim: empty page")
+	}
+
+	rcfg := render.DefaultConfig()
+	if opts.RenderConfig != nil {
+		rcfg = *opts.RenderConfig
+	}
+	doc, err := webdoc.Parse(wl.Page.HTML())
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: parse %s: %w", wl.Page.Name, err)
+	}
+	plan, err := render.BuildPlan(rcfg, doc)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: plan %s: %w", wl.Page.Name, err)
+	}
+
+	m, err := soc.New(opts.SoC, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.AmbientC != 0 {
+		m.SetAmbient(opts.AmbientC)
+	}
+	m.Prewarm(opts.StartTempC)
+	if opts.TraceFn != nil {
+		m.SetTraceFn(opts.TraceFn)
+	}
+	gov := opts.Governor
+	gov.Reset()
+
+	res := Result{
+		Page:          wl.Page.Name,
+		Governor:      gov.Name(),
+		Intensity:     corun.None,
+		Features:      plan.Features,
+		FreqResidency: map[int]time.Duration{},
+	}
+	if wl.CoRun != nil {
+		res.CoRunName = wl.CoRun.Name
+		res.Intensity = wl.CoRun.Intensity
+		if err := m.AssignSource(CoRunCore, workload.Loop(wl.CoRun.New(opts.Seed+1))); err != nil {
+			return Result{}, err
+		}
+	}
+
+	sampler := perfmon.NewSampler()
+	cores := opts.SoC.Cores
+	decide := func(features []float64, elapsed time.Duration) {
+		windows := make([]perfmon.Counters, cores)
+		for i := 0; i < cores; i++ {
+			windows[i] = sampler.Window(i, m.Counters(i))
+		}
+		ctx := governor.Context{
+			Now:          m.Now(),
+			Elapsed:      elapsed,
+			Deadline:     opts.Deadline,
+			Table:        opts.SoC.OPPs,
+			Current:      m.OPP(),
+			Windows:      windows,
+			BrowserCores: []int{BrowserMainCore, BrowserHelperCore},
+			CoRunCores:   []int{CoRunCore},
+			PageFeatures: features,
+			SoCTempC:     m.SoCTemp(),
+		}
+		m.SetOPP(gov.Decide(ctx))
+	}
+
+	// Warmup: the co-runner (if any) runs alone; the governor is live.
+	for m.Now() < opts.Warmup {
+		decide(nil, 0)
+		m.Step(opts.DecisionInterval)
+	}
+
+	// Page load begins.
+	start := m.Now()
+	startEnergy := m.EnergyJ()
+	startSwitches := m.Switches()
+	res.StartTempC = m.SoCTemp()
+	res.MaxSoCTempC = res.StartTempC
+	coRunStart := m.Counters(CoRunCore)
+	features := plan.Features.Vector()
+	if err := m.AssignSource(BrowserMainCore, plan.MainSource()); err != nil {
+		return Result{}, err
+	}
+	if len(plan.Helper) > 0 {
+		if err := m.AssignSource(BrowserHelperCore, plan.HelperSource()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	slice := time.Duration(opts.SoC.SliceNs)
+	var tempSum float64
+	var tempN int
+	nextDecision := m.Now() // decide immediately at load start
+	for {
+		if m.CoreDone(BrowserMainCore) && m.CoreDone(BrowserHelperCore) {
+			break
+		}
+		if m.Now()-start >= opts.MaxLoadTime {
+			res.TimedOut = true
+			break
+		}
+		if m.Now() >= nextDecision {
+			decide(features, m.Now()-start)
+			nextDecision = m.Now() + opts.DecisionInterval
+		}
+		res.FreqResidency[m.OPP().FreqMHz] += slice
+		m.Step(slice)
+		t := m.SoCTemp()
+		tempSum += t
+		tempN++
+		if t > res.MaxSoCTempC {
+			res.MaxSoCTempC = t
+		}
+	}
+	if tempN > 0 {
+		res.AvgSoCTempC = tempSum / float64(tempN)
+	} else {
+		res.AvgSoCTempC = res.StartTempC
+	}
+
+	res.LoadTime = m.Now() - start
+	res.DeadlineMet = !res.TimedOut && res.LoadTime <= opts.Deadline
+	res.EnergyJ = m.EnergyJ() - startEnergy
+	if res.LoadTime > 0 {
+		res.AvgPowerW = res.EnergyJ / res.LoadTime.Seconds()
+	}
+	res.PPW = power.PPW(res.LoadTime, res.AvgPowerW)
+	res.Switches = m.Switches() - startSwitches
+
+	coRunDelta := m.Counters(CoRunCore).Sub(coRunStart)
+	res.AvgCoRunMPKI = coRunDelta.MPKI()
+	res.AvgCoRunUtil = coRunDelta.Utilization()
+	res.CoRunInstructions = coRunDelta.Instructions
+	return res, nil
+}
+
+// RunKernelInstructions runs a co-run kernel alone until it has
+// executed at least n instructions and returns the whole-device energy
+// consumed — the instruction-matched E_O term of the paper's Fig. 2(b)
+// analysis (matching instructions rather than wall time avoids crediting
+// the solo run with work the co-run never finished).
+func RunKernelInstructions(opts Options, k corun.Kernel, n uint64) (energyJ float64, elapsed time.Duration, err error) {
+	opts.fillDefaults()
+	if opts.Governor == nil {
+		return 0, 0, errors.New("sim: nil governor")
+	}
+	if n == 0 {
+		return 0, 0, nil
+	}
+	m, err := soc.New(opts.SoC, opts.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if opts.AmbientC != 0 {
+		m.SetAmbient(opts.AmbientC)
+	}
+	m.Prewarm(opts.StartTempC)
+	gov := opts.Governor
+	gov.Reset()
+	if err := m.AssignSource(CoRunCore, workload.Loop(k.New(opts.Seed+1))); err != nil {
+		return 0, 0, err
+	}
+	sampler := perfmon.NewSampler()
+	limit := 10 * time.Minute
+	for m.Counters(CoRunCore).Instructions < n && m.Now() < limit {
+		windows := make([]perfmon.Counters, opts.SoC.Cores)
+		for i := 0; i < opts.SoC.Cores; i++ {
+			windows[i] = sampler.Window(i, m.Counters(i))
+		}
+		m.SetOPP(gov.Decide(governor.Context{
+			Now:        m.Now(),
+			Table:      opts.SoC.OPPs,
+			Current:    m.OPP(),
+			Windows:    windows,
+			CoRunCores: []int{CoRunCore},
+			SoCTempC:   m.SoCTemp(),
+		}))
+		m.Step(opts.DecisionInterval)
+	}
+	return m.EnergyJ(), m.Now(), nil
+}
+
+// RunKernelAlone runs a co-run kernel by itself for the given duration
+// under the governor and returns the whole-device energy consumed —
+// the E_O term of the paper's Fig. 2(b) energy-overhead analysis.
+func RunKernelAlone(opts Options, k corun.Kernel, d time.Duration) (energyJ float64, err error) {
+	opts.fillDefaults()
+	if opts.Governor == nil {
+		return 0, errors.New("sim: nil governor")
+	}
+	m, err := soc.New(opts.SoC, opts.Seed)
+	if err != nil {
+		return 0, err
+	}
+	if opts.AmbientC != 0 {
+		m.SetAmbient(opts.AmbientC)
+	}
+	m.Prewarm(opts.StartTempC)
+	gov := opts.Governor
+	gov.Reset()
+	if err := m.AssignSource(CoRunCore, workload.Loop(k.New(opts.Seed+1))); err != nil {
+		return 0, err
+	}
+	sampler := perfmon.NewSampler()
+	for m.Now() < d {
+		windows := make([]perfmon.Counters, opts.SoC.Cores)
+		for i := 0; i < opts.SoC.Cores; i++ {
+			windows[i] = sampler.Window(i, m.Counters(i))
+		}
+		m.SetOPP(gov.Decide(governor.Context{
+			Now:        m.Now(),
+			Table:      opts.SoC.OPPs,
+			Current:    m.OPP(),
+			Windows:    windows,
+			CoRunCores: []int{CoRunCore},
+			SoCTempC:   m.SoCTemp(),
+		}))
+		m.Step(opts.DecisionInterval)
+	}
+	return m.EnergyJ(), nil
+}

@@ -1,0 +1,641 @@
+// Package soc assembles the simulated MSM8974 Snapdragon 800: four
+// Krait-class cores with private L1 data caches, the 2 MB shared L2,
+// the LPDDR3 memory channel, DVFS, the thermal network, and the device
+// power model. Cores execute workload segment streams; their cache-line
+// touches flow through the shared hierarchy, so co-scheduled workloads
+// interfere exactly the way the paper studies — through L2 evictions
+// and memory-bus queueing.
+//
+// # Sampled-hierarchy methodology
+//
+// Simulating every reference of multi-second page loads is
+// prohibitively slow, so the machine uses standard cache scaling: the
+// reference stream is sampled 1-in-2^SampleShift and the cache
+// capacities and workload footprints are scaled down by the same
+// factor, preserving working-set-to-capacity ratios, miss rates, and
+// relative interference pressure. Latency and counter contributions of
+// each sampled touch are scaled back up by 2^SampleShift.
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dora/internal/cache"
+	"dora/internal/dvfs"
+	"dora/internal/membus"
+	"dora/internal/perfmon"
+	"dora/internal/power"
+	"dora/internal/thermal"
+	"dora/internal/workload"
+)
+
+// Config describes the machine.
+type Config struct {
+	Cores int
+
+	L1SizeBytes int
+	L1Ways      int
+	L2SizeBytes int
+	L2Ways      int
+	LineBytes   int
+
+	// L2HitNs is the shared-L2 hit service time (wall clock).
+	L2HitNs float64
+
+	OPPs    *dvfs.Table
+	Bus     membus.Config
+	Thermal thermal.Config
+	Power   power.Config
+
+	// DefaultIPC applies to segments that do not specify one.
+	DefaultIPC float64
+
+	// MLP is the memory-level-parallelism divisor applied to miss
+	// latency per access pattern (overlapping misses hide latency).
+	MLPSequential   float64
+	MLPStrided      float64
+	MLPRandom       float64
+	MLPPointerChase float64
+
+	// SampleShift: simulate 1 in 2^shift line touches (see package doc).
+	SampleShift uint
+
+	// SliceNs is the accounting slice (power/thermal/bus window).
+	SliceNs int64
+	// QuantumNs interleaves cores within a slice for cache fidelity.
+	QuantumNs int64
+
+	// JitterPct adds seeded, zero-mean variation to segment work,
+	// modelling scheduler and content nondeterminism on a real phone.
+	JitterPct float64
+
+	// L2Replacement selects the shared-L2 victim policy. Krait-class
+	// controllers use pseudo-random replacement (the default); LRU is
+	// available for ablation studies.
+	L2Replacement cache.Replacement
+
+	// UseBankModel replaces the flat DRAM base latency with the
+	// address-dependent bank/row-buffer model (fidelity studies; the
+	// calibrated reproduction uses the flat latency, which is the
+	// row-hit/conflict mix average).
+	UseBankModel bool
+}
+
+// NexusFive returns the calibrated Nexus 5 configuration (Table II).
+func NexusFive() Config {
+	return Config{
+		Cores:       4,
+		L1SizeBytes: 16 << 10,
+		L1Ways:      4,
+		L2SizeBytes: 2 << 20,
+		L2Ways:      16,
+		LineBytes:   64,
+		L2HitNs:     9,
+		OPPs:        dvfs.MSM8974(),
+		Bus:         membus.DefaultLPDDR3(),
+		Thermal:     thermal.DefaultNexus5(),
+		Power:       power.DefaultDevice(),
+		DefaultIPC:  1.5,
+
+		MLPSequential:   4.0,
+		MLPStrided:      3.0,
+		MLPRandom:       2.0,
+		MLPPointerChase: 1.0,
+
+		SampleShift:   3,
+		SliceNs:       1_000_000, // 1 ms
+		QuantumNs:     250_000,   // 250 us
+		JitterPct:     0.02,
+		L2Replacement: cache.RandomRepl,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores > 8 {
+		return errors.New("soc: core count out of range")
+	}
+	if c.OPPs == nil {
+		return errors.New("soc: missing OPP table")
+	}
+	if c.SliceNs <= 0 || c.QuantumNs <= 0 || c.QuantumNs > c.SliceNs {
+		return errors.New("soc: invalid slice/quantum")
+	}
+	if c.SliceNs%c.QuantumNs != 0 {
+		return errors.New("soc: slice must be a multiple of quantum")
+	}
+	if c.DefaultIPC <= 0 {
+		return errors.New("soc: DefaultIPC must be positive")
+	}
+	if c.L2HitNs <= 0 {
+		return errors.New("soc: L2HitNs must be positive")
+	}
+	if c.MLPSequential < 1 || c.MLPStrided < 1 || c.MLPRandom < 1 || c.MLPPointerChase < 1 {
+		return errors.New("soc: MLP factors must be >= 1")
+	}
+	if c.SampleShift > 8 {
+		return errors.New("soc: SampleShift too aggressive")
+	}
+	if c.JitterPct < 0 || c.JitterPct > 0.2 {
+		return errors.New("soc: JitterPct out of range")
+	}
+	return c.Power.Validate()
+}
+
+// coreState tracks one core's execution.
+type coreState struct {
+	src  workload.Source
+	done bool // finite source exhausted
+
+	seg        workload.Segment // segment currently executing
+	gen        *workload.RefGen
+	remSamples int64 // sampled touches left in segment
+	opsPerSamp int64 // (scaled-up) ops per sampled touch
+	remOps     int64 // ops left (pure-compute segments / remainder)
+	idleNs     int64 // pending idle time from segment gaps
+
+	chunkOpsRem  int64 // ops left before the next sampled touch
+	pendingStall int64 // stall ns left to pay for the last touch
+
+	// posByBase continues sequential/strided walks across segments
+	// that revisit the same region (multi-pass kernels).
+	posByBase map[uint64]uint64
+
+	counters perfmon.Counters
+
+	// Per-slice accumulators for the power model.
+	sliceBusyNs  int64
+	sliceStallNs int64
+}
+
+// Machine is the simulated SoC plus whole-device environment.
+type Machine struct {
+	cfg   Config
+	scale int64 // 1 << SampleShift
+
+	l1      []*cache.Cache
+	l2      *cache.Cache
+	bus     *membus.Bus
+	thermal *thermal.Model
+	opp     dvfs.OPP
+
+	cores []coreState
+	now   int64 // ns
+	rng   *rand.Rand
+
+	meter      power.Meter
+	lastPower  power.Breakdown
+	switches   int
+	stallAllNs int64   // pending DVFS-switch stall applied to all cores
+	switchEJ   float64 // pending DVFS-switch energy
+
+	traceFn func(TraceSample)
+	banks   *membus.BankModel // nil unless Config.UseBankModel
+}
+
+// TraceSample is one per-slice observability record.
+type TraceSample struct {
+	Now       time.Duration
+	FreqMHz   int
+	PowerW    float64
+	SoCTempC  float64
+	BusUtil   float64
+	LeakageW  float64
+	CoreDynW  float64
+	BaselineW float64
+}
+
+// SetTraceFn installs a per-slice trace callback (nil disables).
+func (m *Machine) SetTraceFn(fn func(TraceSample)) { m.traceFn = fn }
+
+// New builds a machine at the lowest OPP, thermally at ambient.
+func New(cfg Config, seed int64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scale := int64(1) << cfg.SampleShift
+	mkCache := func(name string, size, ways, owners int, repl cache.Replacement) (*cache.Cache, error) {
+		scaled := size / int(scale)
+		if scaled < cfg.LineBytes*ways {
+			scaled = cfg.LineBytes * ways
+		}
+		// Round set count down to a power of two.
+		sets := scaled / (cfg.LineBytes * ways)
+		p2 := 1
+		for p2*2 <= sets {
+			p2 *= 2
+		}
+		return cache.New(cache.Config{
+			Name: name, SizeBytes: p2 * cfg.LineBytes * ways,
+			LineBytes: cfg.LineBytes, Ways: ways, MaxOwners: owners,
+			Replacement: repl,
+		})
+	}
+
+	m := &Machine{
+		cfg:   cfg,
+		scale: scale,
+		cores: make([]coreState, cfg.Cores),
+		rng:   rand.New(rand.NewSource(seed)),
+		opp:   cfg.OPPs.Min(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := mkCache(fmt.Sprintf("l1-%d", i), cfg.L1SizeBytes, cfg.L1Ways, 1, cache.LRU)
+		if err != nil {
+			return nil, err
+		}
+		m.l1 = append(m.l1, l1)
+	}
+	// Krait-class shared L2s use pseudo-random replacement (the
+	// default) — the reason streaming co-runners evict a victim's hot
+	// lines.
+	l2, err := mkCache("l2", cfg.L2SizeBytes, cfg.L2Ways, cfg.Cores, cfg.L2Replacement)
+	if err != nil {
+		return nil, err
+	}
+	m.l2 = l2
+	bus, err := membus.New(cfg.Bus, m.opp.BusFreqMHz)
+	if err != nil {
+		return nil, err
+	}
+	m.bus = bus
+	if cfg.UseBankModel {
+		m.banks, err = membus.NewBankModel(membus.DefaultLPDDR3Banks())
+		if err != nil {
+			return nil, err
+		}
+	}
+	th, err := thermal.New(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	m.thermal = th
+	return m, nil
+}
+
+// AssignSource attaches a workload stream to a core (replacing any).
+func (m *Machine) AssignSource(core int, src workload.Source) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("soc: core %d out of range", core)
+	}
+	c := &m.cores[core]
+	c.src = src
+	c.done = false
+	c.seg = workload.Segment{}
+	c.remSamples, c.remOps, c.idleNs = 0, 0, 0
+	c.chunkOpsRem, c.pendingStall = 0, 0
+	c.gen = nil
+	c.posByBase = nil
+	return nil
+}
+
+// ClearSource idles a core.
+func (m *Machine) ClearSource(core int) {
+	if core >= 0 && core < len(m.cores) {
+		c := &m.cores[core]
+		c.src = nil
+		c.done = false
+		c.seg = workload.Segment{}
+		c.remSamples, c.remOps, c.idleNs = 0, 0, 0
+		c.chunkOpsRem, c.pendingStall = 0, 0
+		c.posByBase = nil
+	}
+}
+
+// CoreDone reports whether the core's finite source has completed.
+func (m *Machine) CoreDone(core int) bool {
+	if core < 0 || core >= len(m.cores) {
+		return true
+	}
+	c := &m.cores[core]
+	if c.src == nil {
+		return true
+	}
+	return c.done && c.remSamples == 0 && c.remOps == 0 &&
+		c.chunkOpsRem == 0 && c.idleNs == 0 && c.pendingStall == 0
+}
+
+// OPP returns the current operating point.
+func (m *Machine) OPP() dvfs.OPP { return m.opp }
+
+// SetOPP switches the cluster frequency; a real switch stalls the
+// cores for the PLL/voltage ramp and costs fixed energy. Requests for
+// frequencies outside the OPP table are clamped to the nearest valid
+// setting at or above the request, as cpufreq does.
+func (m *Machine) SetOPP(opp dvfs.OPP) {
+	if m.cfg.OPPs.IndexOf(opp.FreqMHz) < 0 {
+		opp = m.cfg.OPPs.Ceil(opp.FreqMHz)
+	}
+	if opp.FreqMHz == m.opp.FreqMHz {
+		return
+	}
+	m.opp = opp
+	m.bus.SetFreqMHz(opp.BusFreqMHz)
+	m.switches++
+	m.stallAllNs += int64(m.cfg.OPPs.SwitchLatency)
+	m.switchEJ += m.cfg.OPPs.SwitchEnergyJ
+}
+
+// Switches returns the number of frequency transitions so far.
+func (m *Machine) Switches() int { return m.switches }
+
+// Now returns the simulated time.
+func (m *Machine) Now() time.Duration { return time.Duration(m.now) }
+
+// Counters returns core i's cumulative counters.
+func (m *Machine) Counters(core int) perfmon.Counters {
+	if core < 0 || core >= len(m.cores) {
+		return perfmon.Counters{}
+	}
+	return m.cores[core].counters
+}
+
+// EnergyJ returns whole-device energy integrated since construction.
+func (m *Machine) EnergyJ() float64 { return m.meter.EnergyJ() }
+
+// LastPower returns the device power breakdown of the last slice.
+func (m *Machine) LastPower() power.Breakdown { return m.lastPower }
+
+// SoCTemp returns the SoC thermal-node temperature.
+func (m *Machine) SoCTemp() float64 { return m.thermal.SoCTemp() }
+
+// CoreTemp returns core i's sensor temperature.
+func (m *Machine) CoreTemp(i int) float64 { return m.thermal.CoreTemp(i) }
+
+// MaxCoreTemp returns the hottest core sensor.
+func (m *Machine) MaxCoreTemp() float64 { return m.thermal.MaxCoreTemp() }
+
+// SetAmbient changes ambient temperature (Fig. 10's experiment).
+func (m *Machine) SetAmbient(c float64) { m.thermal.SetAmbient(c) }
+
+// Prewarm starts the SoC at an in-use operating temperature instead of
+// cold ambient (phones being benchmarked are already warm).
+func (m *Machine) Prewarm(tempC float64) { m.thermal.Prewarm(tempC) }
+
+// BusUtilization returns the last window's memory-bus utilization.
+func (m *Machine) BusUtilization() float64 { return m.bus.Utilization() }
+
+// L2Stats exposes shared-L2 counters for a core (testing/diagnostics).
+func (m *Machine) L2Stats(core int) cache.OwnerStats { return m.l2.Stats(core) }
+
+// Step advances simulated time by d (rounded up to whole slices).
+func (m *Machine) Step(d time.Duration) {
+	slices := (int64(d) + m.cfg.SliceNs - 1) / m.cfg.SliceNs
+	for s := int64(0); s < slices; s++ {
+		m.stepSlice()
+	}
+}
+
+func (m *Machine) stepSlice() {
+	quanta := m.cfg.SliceNs / m.cfg.QuantumNs
+	l2Before := m.l2.TotalStats().Accesses
+
+	// Apply any pending DVFS stall once, to all cores, as idle-like
+	// busy time (the core is halted mid-transition).
+	switchStall := m.stallAllNs
+	m.stallAllNs = 0
+
+	for q := int64(0); q < quanta; q++ {
+		for i := range m.cores {
+			budget := m.cfg.QuantumNs
+			if q == 0 && switchStall > 0 {
+				st := minI64(switchStall, budget)
+				c := &m.cores[i]
+				c.counters.BusyNs += st
+				c.counters.StallNs += st
+				c.sliceBusyNs += st
+				c.sliceStallNs += st
+				budget -= st
+			}
+			m.advanceCore(i, budget)
+		}
+	}
+
+	slice := time.Duration(m.cfg.SliceNs)
+	// Close the bus window: its utilization shapes next-slice latency.
+	busWin, _ := m.bus.EndWindow(slice)
+
+	// Power for this slice.
+	var bd power.Breakdown
+	volt := m.opp.VoltageV
+	fHz := m.opp.FreqHz()
+	corePowers := make([]float64, len(m.cores))
+	for i := range m.cores {
+		c := &m.cores[i]
+		busy := float64(c.sliceBusyNs) / float64(m.cfg.SliceNs)
+		stall := 0.0
+		if c.sliceBusyNs > 0 {
+			stall = float64(c.sliceStallNs) / float64(c.sliceBusyNs)
+		}
+		p := m.cfg.Power.Core.Dynamic(volt, fHz, busy, stall)
+		corePowers[i] = p
+		bd.CoreDynamicW += p
+		c.sliceBusyNs, c.sliceStallNs = 0, 0
+	}
+	l2Acc := m.l2.TotalStats().Accesses - l2Before
+	bd.L2W = float64(l2Acc*uint64(m.scale)) * m.cfg.Power.L2EnergyPerAccessJ / slice.Seconds()
+	bd.UncoreW = m.cfg.Power.UncoreIdleW + (busWin.EnergyJ+m.switchEJ)/slice.Seconds()
+	m.switchEJ = 0
+	bd.LeakageW = m.cfg.Power.Leakage.Power(volt, m.thermal.SoCTemp())
+	bd.BaselineW = m.cfg.Power.BaselineW
+	m.lastPower = bd
+	m.meter.Record(slice, bd.Total())
+
+	m.thermal.Step(slice, bd.SoC(), corePowers)
+	m.now += m.cfg.SliceNs
+
+	if m.traceFn != nil {
+		m.traceFn(TraceSample{
+			Now:       time.Duration(m.now),
+			FreqMHz:   m.opp.FreqMHz,
+			PowerW:    bd.Total(),
+			SoCTempC:  m.thermal.SoCTemp(),
+			BusUtil:   busWin.Utilization,
+			LeakageW:  bd.LeakageW,
+			CoreDynW:  bd.CoreDynamicW,
+			BaselineW: bd.BaselineW,
+		})
+	}
+}
+
+// advanceCore runs core i for up to budget nanoseconds of local time.
+// All work is split at budget boundaries, so busy/idle accounting stays
+// exactly aligned with wall-clock quanta.
+func (m *Machine) advanceCore(i int, budget int64) {
+	c := &m.cores[i]
+	for budget > 0 {
+		// Pay off stall from the last memory touch.
+		if c.pendingStall > 0 {
+			d := minI64(c.pendingStall, budget)
+			c.pendingStall -= d
+			c.counters.BusyNs += d
+			c.counters.StallNs += d
+			c.sliceBusyNs += d
+			c.sliceStallNs += d
+			budget -= d
+			continue
+		}
+		// Pending idle gap?
+		if c.idleNs > 0 {
+			d := minI64(c.idleNs, budget)
+			c.idleNs -= d
+			c.counters.IdleNs += d
+			budget -= d
+			continue
+		}
+		// Need a new segment?
+		if c.remSamples == 0 && c.remOps == 0 && c.chunkOpsRem == 0 {
+			if c.src == nil || c.done {
+				c.counters.IdleNs += budget
+				return
+			}
+			seg, ok := c.src.Next()
+			if !ok {
+				c.done = true
+				c.counters.IdleNs += budget
+				return
+			}
+			m.loadSegment(c, seg)
+			continue
+		}
+
+		freqGHz := m.opp.FreqGHz()
+		ipc := c.seg.IPC
+		if ipc <= 0 {
+			ipc = m.cfg.DefaultIPC
+		}
+		opsPerNs := ipc * freqGHz
+
+		// Start a new ops chunk if needed: the ops leading up to the
+		// next sampled touch, or the pure-compute remainder.
+		if c.chunkOpsRem == 0 {
+			if c.remSamples > 0 {
+				c.chunkOpsRem = c.opsPerSamp
+			} else {
+				c.chunkOpsRem = c.remOps
+				c.remOps = 0
+			}
+			if c.chunkOpsRem == 0 {
+				c.chunkOpsRem = 1 // zero-ops touch still takes an issue slot
+			}
+		}
+
+		// Execute as much of the chunk as the budget allows.
+		opsPossible := int64(float64(budget) * opsPerNs)
+		if opsPossible < 1 {
+			opsPossible = 1
+		}
+		ops := minI64(c.chunkOpsRem, opsPossible)
+		d := int64(float64(ops) / opsPerNs)
+		if d < 1 {
+			d = 1
+		}
+		d = minI64(d, budget)
+		c.counters.Instructions += uint64(ops)
+		c.counters.BusyNs += d
+		c.sliceBusyNs += d
+		c.chunkOpsRem -= ops
+		budget -= d
+
+		if c.chunkOpsRem == 0 {
+			if c.remSamples > 0 {
+				// Chunk complete: issue the sampled touch.
+				c.pendingStall += m.access(i, c)
+				c.remSamples--
+			}
+			if c.remSamples == 0 && c.remOps == 0 {
+				c.idleNs += c.seg.IdleNs
+				c.seg.IdleNs = 0 // pay the gap once
+			}
+		}
+	}
+}
+
+// loadSegment installs a new segment on the core, applying the sampled
+// scaling and work jitter.
+func (m *Machine) loadSegment(c *coreState, seg workload.Segment) {
+	if m.cfg.JitterPct > 0 && seg.Ops > 0 {
+		f := 1 + m.rng.NormFloat64()*m.cfg.JitterPct
+		if f < 0.5 {
+			f = 0.5
+		}
+		seg.Ops = int64(float64(seg.Ops) * f)
+		seg.Lines = int64(float64(seg.Lines) * f)
+	}
+	c.seg = seg
+	c.remOps = seg.Ops
+	c.remSamples = 0
+	c.chunkOpsRem = 0
+	c.gen = nil
+	if seg.Lines > 0 {
+		samples := seg.Lines >> m.cfg.SampleShift
+		if samples < 1 {
+			samples = 1
+		}
+		c.remSamples = samples
+		c.opsPerSamp = seg.Ops / samples
+		c.remOps = seg.Ops - c.opsPerSamp*samples
+		// Scale the footprint with the hierarchy (see package doc).
+		scaled := seg
+		scaled.FootprintBytes = seg.FootprintBytes >> m.cfg.SampleShift
+		if scaled.FootprintBytes < int64(m.cfg.LineBytes) {
+			scaled.FootprintBytes = int64(m.cfg.LineBytes)
+		}
+		if c.posByBase == nil {
+			c.posByBase = make(map[uint64]uint64)
+		}
+		start := c.posByBase[seg.Base]
+		c.posByBase[seg.Base] = start + uint64(samples)
+		c.gen = workload.NewRefGenAt(scaled, m.rng.Uint64(), start)
+	}
+}
+
+// access pushes one sampled touch through the hierarchy and returns
+// the (scaled-up) stall in nanoseconds.
+func (m *Machine) access(core int, c *coreState) int64 {
+	addr := c.gen.Next()
+	if m.l1[core].Access(addr, 0) {
+		return 0 // L1 hit: folded into base IPC
+	}
+	c.counters.L2Accesses += uint64(m.scale)
+	if m.l2.Access(addr, core) {
+		return int64(m.cfg.L2HitNs * float64(m.scale))
+	}
+	c.counters.L2Misses += uint64(m.scale)
+	c.counters.BusTx += uint64(m.scale)
+	m.bus.Add(core, m.scale)
+	var lat float64
+	if m.banks != nil {
+		// Address-dependent service time: row-buffer state + transfer,
+		// then the same queueing inflation.
+		service := m.banks.AccessNs(addr) + m.bus.TransferSeconds()*1e9
+		lat = service * (1 + m.bus.QueueFactor())
+	} else {
+		lat = m.bus.TransactionLatency().Seconds() * 1e9
+	}
+	mlp := m.mlpFor(c.seg.Pattern)
+	return int64(lat / mlp * float64(m.scale))
+}
+
+func (m *Machine) mlpFor(p workload.Pattern) float64 {
+	switch p {
+	case workload.Sequential:
+		return m.cfg.MLPSequential
+	case workload.Strided:
+		return m.cfg.MLPStrided
+	case workload.Random:
+		return m.cfg.MLPRandom
+	default:
+		return m.cfg.MLPPointerChase
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

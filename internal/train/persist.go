@@ -1,0 +1,57 @@
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// observationFile is the on-disk campaign format, versioned so stale
+// caches from older calibrations are rejected rather than silently
+// mixed in.
+type observationFile struct {
+	Version      int           `json:"version"`
+	Observations []Observation `json:"observations"`
+}
+
+// ObservationFileVersion identifies the current measurement schema and
+// simulator calibration. Bump it whenever the simulator's timing or
+// power calibration changes, so cached campaigns are invalidated.
+const ObservationFileVersion = 3
+
+// SaveObservations writes a campaign to a JSON file.
+func SaveObservations(path string, obs []Observation) error {
+	data, err := json.MarshalIndent(observationFile{
+		Version:      ObservationFileVersion,
+		Observations: obs,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("train: marshal observations: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadObservations reads a campaign written by SaveObservations.
+func LoadObservations(path string) ([]Observation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f observationFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("train: parse %s: %w", path, err)
+	}
+	if f.Version != ObservationFileVersion {
+		return nil, fmt.Errorf("train: %s has version %d, want %d (re-run the campaign)",
+			path, f.Version, ObservationFileVersion)
+	}
+	if len(f.Observations) == 0 {
+		return nil, fmt.Errorf("train: %s contains no observations", path)
+	}
+	for i, o := range f.Observations {
+		if len(o.X) != 9 || o.LoadTimeS <= 0 || o.PowerW <= 0 {
+			return nil, fmt.Errorf("train: %s observation %d malformed", path, i)
+		}
+	}
+	return f.Observations, nil
+}

@@ -1,0 +1,87 @@
+package webdoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the HTML parser with arbitrary input: it must never
+// panic or loop, and any document it produces must have consistent
+// parent/child links.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<div>",
+		"</div>",
+		"<div class='a'><a href=x>t</a></div>",
+		"<!DOCTYPE html><!-- c --><p>x",
+		"<script>if(a<b){}</script><div>",
+		"<img src=a.png/><br>",
+		"<div class=\"unterminated>",
+		"<<>><div =bad>",
+		strings.Repeat("<div>", 50) + "x" + strings.Repeat("</div>", 50),
+		"<style>.a{color:red}</style>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		doc, err := Parse(html)
+		if err != nil {
+			return // rejecting malformed input is fine; panics are not
+		}
+		// Structural invariants.
+		doc.Root.Walk(func(n *Node) {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("child with wrong parent link")
+				}
+			}
+			if n.Type == TextNode && len(n.Children) != 0 {
+				t.Fatal("text node with children")
+			}
+		})
+		// Feature extraction must not panic and must be non-negative.
+		feats := Extract(doc)
+		if feats.DOMNodes < 0 || feats.MaxDepth < 0 {
+			t.Fatal("negative features")
+		}
+	})
+}
+
+// FuzzParseCSS drives the stylesheet parser: never panic, never loop,
+// rule stats non-negative.
+func FuzzParseCSS(f *testing.F) {
+	seeds := []string{
+		"",
+		".a{x:1}",
+		"div, p.note { a:1; b:2 }",
+		"@media screen { .x{a:1} }",
+		"/* unterminated",
+		".a{unterminated",
+		"a:hover{x:1} nav > b.c{y:2}",
+		"[data-x=1]{a:1}",
+		"}{}{{{}}}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, css string) {
+		sheet := ParseCSS(css)
+		for _, r := range sheet.Rules {
+			if r.Declarations < 0 || len(r.Selectors) == 0 {
+				t.Fatalf("invalid rule %+v", r)
+			}
+		}
+		// Matching arbitrary rules against a fixed document must not
+		// panic.
+		doc, err := Parse(`<div id="i" class="a b"><p class="a">x</p></div>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewRuleIndex(sheet).MatchDocument(doc)
+		if st.Matches < 0 || st.Matches > st.CandidateTests {
+			t.Fatalf("inconsistent stats %+v", st)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package webgen generates the 18-page web corpus used throughout the
+// reproduction, standing in for the paper's "Alexa top 500" pages
+// (Table III). Each page is produced as real HTML with a deterministic
+// structure whose scale parameters are calibrated per page: link farms
+// (Hao123) carry thousands of <a href> elements, image boards (Imgur)
+// carry heavy image payloads, storefronts (Aliexpress, Amazon) carry
+// deep <div> grids, and so on. Pages are parsed by webdoc and rendered
+// by the render package; nothing downstream sees these parameters —
+// only the resulting document.
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Class is the paper's Table III load-time class.
+type Class int
+
+const (
+	// LowComplexity pages load in under 2 s running alone at the top
+	// frequency.
+	LowComplexity Class = iota
+	// HighComplexity pages take over 2 s even alone.
+	HighComplexity
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == HighComplexity {
+		return "high"
+	}
+	return "low"
+}
+
+// Spec describes one page's generation parameters.
+type Spec struct {
+	Name  string
+	Class Class
+
+	// Structure scale.
+	Sections    int // top-level content sections
+	ParasPerSec int // paragraphs per section
+	LinksPerSec int // anchors per section
+	ImgsPerSec  int // images per section
+	NestDepth   int // extra div nesting inside each section
+	TextPerPara int // bytes of text per paragraph
+
+	// Payload weights that shape render work beyond DOM structure.
+	ImageKB    int // decoded image data per image (paint footprint)
+	ScriptKB   int // inline script bytes (parse/execute work)
+	StyleRules int // CSS rules (style-resolution work)
+}
+
+// specs is the corpus. Scale parameters give each page a distinct
+// complexity signature; classes follow the paper's Table III.
+var specs = []Spec{
+	// Low complexity (< 2 s alone).
+	{Name: "Twitter", Class: LowComplexity, Sections: 46, ParasPerSec: 4, LinksPerSec: 5, ImgsPerSec: 2, NestDepth: 2, TextPerPara: 90, ImageKB: 28, ScriptKB: 60, StyleRules: 320},
+	{Name: "Youtube", Class: LowComplexity, Sections: 52, ParasPerSec: 3, LinksPerSec: 6, ImgsPerSec: 4, NestDepth: 2, TextPerPara: 60, ImageKB: 46, ScriptKB: 90, StyleRules: 380},
+	{Name: "Instagram", Class: LowComplexity, Sections: 32, ParasPerSec: 2, LinksPerSec: 3, ImgsPerSec: 6, NestDepth: 2, TextPerPara: 40, ImageKB: 70, ScriptKB: 70, StyleRules: 260},
+	{Name: "Reddit", Class: LowComplexity, Sections: 84, ParasPerSec: 5, LinksPerSec: 8, ImgsPerSec: 1, NestDepth: 3, TextPerPara: 140, ImageKB: 18, ScriptKB: 80, StyleRules: 420},
+	{Name: "Amazon", Class: LowComplexity, Sections: 74, ParasPerSec: 3, LinksPerSec: 9, ImgsPerSec: 3, NestDepth: 3, TextPerPara: 70, ImageKB: 34, ScriptKB: 100, StyleRules: 520},
+	{Name: "MSN", Class: LowComplexity, Sections: 70, ParasPerSec: 4, LinksPerSec: 7, ImgsPerSec: 2, NestDepth: 2, TextPerPara: 110, ImageKB: 30, ScriptKB: 85, StyleRules: 440},
+	{Name: "BBC", Class: LowComplexity, Sections: 63, ParasPerSec: 5, LinksPerSec: 6, ImgsPerSec: 2, NestDepth: 2, TextPerPara: 150, ImageKB: 32, ScriptKB: 70, StyleRules: 400},
+	{Name: "CNN", Class: LowComplexity, Sections: 67, ParasPerSec: 5, LinksPerSec: 7, ImgsPerSec: 2, NestDepth: 3, TextPerPara: 140, ImageKB: 36, ScriptKB: 95, StyleRules: 460},
+	{Name: "360", Class: LowComplexity, Sections: 38, ParasPerSec: 2, LinksPerSec: 8, ImgsPerSec: 1, NestDepth: 2, TextPerPara: 50, ImageKB: 16, ScriptKB: 50, StyleRules: 280},
+	{Name: "Alibaba", Class: LowComplexity, Sections: 77, ParasPerSec: 3, LinksPerSec: 9, ImgsPerSec: 3, NestDepth: 3, TextPerPara: 60, ImageKB: 30, ScriptKB: 95, StyleRules: 500},
+	{Name: "eBay", Class: LowComplexity, Sections: 70, ParasPerSec: 3, LinksPerSec: 8, ImgsPerSec: 3, NestDepth: 3, TextPerPara: 65, ImageKB: 32, ScriptKB: 90, StyleRules: 470},
+	{Name: "Alipay", Class: LowComplexity, Sections: 24, ParasPerSec: 3, LinksPerSec: 4, ImgsPerSec: 1, NestDepth: 2, TextPerPara: 55, ImageKB: 14, ScriptKB: 45, StyleRules: 220},
+
+	// High complexity (> 2 s alone).
+	{Name: "IMDB", Class: HighComplexity, Sections: 96, ParasPerSec: 6, LinksPerSec: 10, ImgsPerSec: 4, NestDepth: 4, TextPerPara: 130, ImageKB: 40, ScriptKB: 150, StyleRules: 760},
+	{Name: "ESPN", Class: HighComplexity, Sections: 94, ParasPerSec: 6, LinksPerSec: 9, ImgsPerSec: 4, NestDepth: 4, TextPerPara: 120, ImageKB: 44, ScriptKB: 160, StyleRules: 720},
+	{Name: "Hao123", Class: HighComplexity, Sections: 92, ParasPerSec: 2, LinksPerSec: 26, ImgsPerSec: 1, NestDepth: 3, TextPerPara: 30, ImageKB: 10, ScriptKB: 60, StyleRules: 640},
+	{Name: "Imgur", Class: HighComplexity, Sections: 58, ParasPerSec: 3, LinksPerSec: 5, ImgsPerSec: 9, NestDepth: 3, TextPerPara: 60, ImageKB: 95, ScriptKB: 120, StyleRules: 560},
+	{Name: "Aliexpress", Class: HighComplexity, Sections: 122, ParasPerSec: 5, LinksPerSec: 14, ImgsPerSec: 5, NestDepth: 6, TextPerPara: 80, ImageKB: 42, ScriptKB: 180, StyleRules: 880},
+	{Name: "Firefox", Class: HighComplexity, Sections: 108, ParasPerSec: 6, LinksPerSec: 7, ImgsPerSec: 3, NestDepth: 4, TextPerPara: 140, ImageKB: 38, ScriptKB: 170, StyleRules: 680},
+}
+
+// holdout are the pages excluded from model training; the 12
+// "Webpage-Neutral" workloads of the paper are these 4 pages crossed
+// with the three interference intensities.
+var holdout = map[string]bool{"BBC": true, "eBay": true, "Instagram": true, "Imgur": true}
+
+// Specs returns the full 18-page corpus in a stable order.
+func Specs() []Spec { return append([]Spec(nil), specs...) }
+
+// Names returns the 18 page names in corpus order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName looks up a page spec by (case-insensitive) name.
+func ByName(name string) (Spec, error) {
+	for _, s := range specs {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("webgen: unknown page %q", name)
+}
+
+// TrainingNames returns the 14 pages used to fit DORA's models.
+func TrainingNames() []string {
+	var out []string
+	for _, s := range specs {
+		if !holdout[s.Name] {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// HoldoutNames returns the 4 pages reserved for Webpage-Neutral
+// evaluation.
+func HoldoutNames() []string {
+	var out []string
+	for _, s := range specs {
+		if holdout[s.Name] {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// IsHoldout reports whether the page is excluded from training.
+func IsHoldout(name string) bool { return holdout[name] }
+
+// Scaled returns a copy of the spec with the structural scale
+// multiplied by factor (sections, rounded, at least 1) — used by
+// complexity-sensitivity experiments. The page name is suffixed so
+// generated documents differ deterministically from the original.
+func (s Spec) Scaled(factor float64) Spec {
+	out := s
+	out.Sections = int(float64(s.Sections)*factor + 0.5)
+	if out.Sections < 1 {
+		out.Sections = 1
+	}
+	out.Name = fmt.Sprintf("%s@%.2fx", s.Name, factor)
+	return out
+}
+
+// HTML deterministically generates the page source. The same spec
+// always produces byte-identical output (seeded by the page name), so
+// experiments are reproducible.
+func (s Spec) HTML() string {
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	var b strings.Builder
+	b.Grow(64 * 1024)
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", s.Name)
+	b.WriteString("<style>\n")
+	for i := 0; i < s.StyleRules; i++ {
+		fmt.Fprintf(&b, ".c%d{margin:%dpx;padding:%dpx;color:#%06x}\n",
+			i, rng.Intn(24), rng.Intn(16), rng.Intn(1<<24))
+	}
+	b.WriteString("</style>\n<script>\n")
+	writeScript(&b, rng, s.ScriptKB*1024)
+	b.WriteString("</script>\n</head>\n<body>\n")
+
+	// Header / navigation bar.
+	b.WriteString(`<header class="hdr"><nav class="nav">`)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, `<a href="/nav/%d" class="c%d">%s</a>`, i, i%max(1, s.StyleRules), randWord(rng))
+	}
+	b.WriteString("</nav></header>\n")
+
+	for sec := 0; sec < s.Sections; sec++ {
+		fmt.Fprintf(&b, `<section class="c%d">`, rng.Intn(max(1, s.StyleRules)))
+		// Nested div scaffolding (grid wrappers).
+		for d := 0; d < s.NestDepth; d++ {
+			fmt.Fprintf(&b, `<div class="c%d">`, rng.Intn(max(1, s.StyleRules)))
+		}
+		for p := 0; p < s.ParasPerSec; p++ {
+			b.WriteString("<p>")
+			writeText(&b, rng, s.TextPerPara)
+			b.WriteString("</p>")
+		}
+		for l := 0; l < s.LinksPerSec; l++ {
+			fmt.Fprintf(&b, `<a href="/s%d/l%d" class="c%d">%s</a>`,
+				sec, l, rng.Intn(max(1, s.StyleRules)), randWord(rng))
+		}
+		for im := 0; im < s.ImgsPerSec; im++ {
+			fmt.Fprintf(&b, `<img src="/img/%d_%d.jpg" width="%d" height="%d" data-kb="%d">`,
+				sec, im, 120+rng.Intn(400), 90+rng.Intn(300), s.ImageKB)
+		}
+		for d := 0; d < s.NestDepth; d++ {
+			b.WriteString("</div>")
+		}
+		b.WriteString("</section>\n")
+	}
+
+	b.WriteString(`<footer class="ftr">`)
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, `<a href="/foot/%d">%s</a>`, i, randWord(rng))
+	}
+	b.WriteString("</footer>\n</body>\n</html>\n")
+	return b.String()
+}
+
+var words = []string{
+	"latency", "render", "mobile", "energy", "browse", "stream", "market",
+	"signal", "thermal", "update", "report", "search", "detail", "offer",
+	"score", "video", "photo", "story", "index", "quick",
+}
+
+func randWord(rng *rand.Rand) string { return words[rng.Intn(len(words))] }
+
+func writeText(b *strings.Builder, rng *rand.Rand, n int) {
+	written := 0
+	for written < n {
+		w := randWord(rng)
+		b.WriteString(w)
+		b.WriteByte(' ')
+		written += len(w) + 1
+	}
+}
+
+func writeScript(b *strings.Builder, rng *rand.Rand, n int) {
+	written := 0
+	i := 0
+	for written < n {
+		line := fmt.Sprintf("var v%d = %d; f(v%d);\n", i, rng.Intn(1000), i)
+		b.WriteString(line)
+		written += len(line)
+		i++
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"dora/internal/webdoc"
+)
+
+func TestCorpusShape(t *testing.T) {
+	all := Specs()
+	if len(all) != 18 {
+		t.Fatalf("corpus has %d pages, want 18 (paper: Alexa top-18 loading on Android)", len(all))
+	}
+	low, high := 0, 0
+	for _, s := range all {
+		switch s.Class {
+		case LowComplexity:
+			low++
+		case HighComplexity:
+			high++
+		}
+	}
+	if low != 12 || high != 6 {
+		t.Fatalf("class split %d/%d, want 12 low / 6 high (Table III)", low, high)
+	}
+}
+
+func TestTrainingHoldoutSplit(t *testing.T) {
+	tr, ho := TrainingNames(), HoldoutNames()
+	if len(tr) != 14 || len(ho) != 4 {
+		t.Fatalf("split %d/%d, want 14 training / 4 holdout", len(tr), len(ho))
+	}
+	seen := map[string]bool{}
+	for _, n := range append(append([]string{}, tr...), ho...) {
+		if seen[n] {
+			t.Fatalf("page %q in both sets", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 18 {
+		t.Fatalf("split covers %d pages", len(seen))
+	}
+	for _, n := range ho {
+		if !IsHoldout(n) {
+			t.Fatalf("IsHoldout(%q) = false", n)
+		}
+	}
+	for _, n := range tr {
+		if IsHoldout(n) {
+			t.Fatalf("IsHoldout(%q) = true for training page", n)
+		}
+	}
+	// Figure-featured pages must be available for training-set figures.
+	for _, n := range []string{"Reddit", "ESPN", "MSN", "Amazon", "IMDB", "Youtube", "Hao123", "Aliexpress"} {
+		if IsHoldout(n) {
+			t.Fatalf("figure page %q must not be held out", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("reddit")
+	if err != nil || s.Name != "Reddit" {
+		t.Fatalf("ByName(reddit) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown page must error")
+	}
+	if len(Names()) != 18 {
+		t.Fatal("Names must list 18 pages")
+	}
+}
+
+func TestHTMLDeterministic(t *testing.T) {
+	s, _ := ByName("Amazon")
+	a, b := s.HTML(), s.HTML()
+	if a != b {
+		t.Fatal("HTML generation must be deterministic")
+	}
+	s2, _ := ByName("Twitter")
+	if s2.HTML() == a {
+		t.Fatal("different pages must differ")
+	}
+}
+
+func TestHTMLParses(t *testing.T) {
+	for _, s := range Specs() {
+		doc, err := webdoc.Parse(s.HTML())
+		if err != nil {
+			t.Fatalf("page %s does not parse: %v", s.Name, err)
+		}
+		f := webdoc.Extract(doc)
+		if f.DOMNodes < 200 {
+			t.Fatalf("page %s implausibly small: %d nodes", s.Name, f.DOMNodes)
+		}
+		if f.ATags == 0 || f.DivTags == 0 || f.HrefAttrs == 0 || f.ClassAttrs == 0 {
+			t.Fatalf("page %s missing feature dimensions: %+v", s.Name, f)
+		}
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// High-complexity pages must dominate low-complexity pages in DOM
+	// scale on average, and Aliexpress must be the largest.
+	nodes := map[string]int{}
+	var lowSum, highSum, lowN, highN int
+	for _, s := range Specs() {
+		doc, err := webdoc.Parse(s.HTML())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := webdoc.Extract(doc)
+		nodes[s.Name] = f.DOMNodes
+		if s.Class == LowComplexity {
+			lowSum += f.DOMNodes
+			lowN++
+		} else {
+			highSum += f.DOMNodes
+			highN++
+		}
+	}
+	lowAvg, highAvg := lowSum/lowN, highSum/highN
+	if highAvg < lowAvg*2 {
+		t.Fatalf("class separation weak: low avg %d, high avg %d", lowAvg, highAvg)
+	}
+	for name, n := range nodes {
+		if name != "Aliexpress" && n >= nodes["Aliexpress"] {
+			t.Fatalf("%s (%d nodes) >= Aliexpress (%d)", name, n, nodes["Aliexpress"])
+		}
+	}
+}
+
+func TestPageSignatures(t *testing.T) {
+	// Hao123 is a link farm: more hrefs than any low-complexity page.
+	hao, _ := ByName("Hao123")
+	haoDoc, _ := webdoc.Parse(hao.HTML())
+	haoF := webdoc.Extract(haoDoc)
+	for _, name := range []string{"Twitter", "Alipay", "360"} {
+		s, _ := ByName(name)
+		doc, _ := webdoc.Parse(s.HTML())
+		f := webdoc.Extract(doc)
+		if f.HrefAttrs >= haoF.HrefAttrs {
+			t.Fatalf("%s has %d hrefs >= Hao123's %d", name, f.HrefAttrs, haoF.HrefAttrs)
+		}
+	}
+	// Imgur is image-heavy: highest ImageKB payload.
+	img, _ := ByName("Imgur")
+	for _, s := range Specs() {
+		if s.Name != "Imgur" && s.ImageKB >= img.ImageKB {
+			t.Fatalf("%s ImageKB %d >= Imgur %d", s.Name, s.ImageKB, img.ImageKB)
+		}
+	}
+}
+
+func TestGeneratedHTMLStructure(t *testing.T) {
+	s, _ := ByName("MSN")
+	html := s.HTML()
+	for _, frag := range []string{"<!DOCTYPE html>", "<header", "<footer", "<style>", "<script>", "</html>"} {
+		if !strings.Contains(html, frag) {
+			t.Fatalf("generated HTML missing %q", frag)
+		}
+	}
+	if n := strings.Count(html, "<section"); n != s.Sections {
+		t.Fatalf("sections in HTML = %d, want %d", n, s.Sections)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base, _ := ByName("MSN")
+	half := base.Scaled(0.5)
+	double := base.Scaled(2)
+	if half.Sections >= base.Sections || double.Sections <= base.Sections {
+		t.Fatalf("scaling broken: %d / %d / %d", half.Sections, base.Sections, double.Sections)
+	}
+	if base.Scaled(0.001).Sections < 1 {
+		t.Fatal("scaled sections must be at least 1")
+	}
+	if half.Name == base.Name {
+		t.Fatal("scaled spec must be renamed")
+	}
+	// Scaled pages still generate and parse.
+	doc, err := webdoc.Parse(double.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBase := webdoc.Extract(mustParseSpec(t, base))
+	fDouble := webdoc.Extract(doc)
+	if fDouble.DOMNodes <= fBase.DOMNodes {
+		t.Fatal("doubled page must have more nodes")
+	}
+}
+
+func mustParseSpec(t *testing.T, s Spec) *webdoc.Document {
+	t.Helper()
+	doc, err := webdoc.Parse(s.HTML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}

@@ -1,0 +1,26 @@
+package dora
+
+import (
+	"dora/internal/corun"
+	"dora/internal/train"
+)
+
+// trainTiny fits models on a minimal measurement grid, for API tests.
+func trainTiny() (*Models, TrainReport, error) {
+	cfg := train.Config{
+		SoC:         DefaultDevice(),
+		Seed:        5,
+		Pages:       []string{"Alipay", "MSN", "Hao123"},
+		Intensities: []corun.Intensity{corun.None, corun.High},
+		FreqsMHz:    []int{652, 729, 960, 1190, 1497, 1728, 1958, 2265},
+	}
+	obs, err := train.Campaign(cfg)
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	static, err := train.FitStatic(train.Config{SoC: cfg.SoC})
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	return train.Fit(obs, static, 30)
+}
