@@ -20,6 +20,7 @@ import (
 	"dora/internal/experiment"
 	"dora/internal/membus"
 	"dora/internal/soc"
+	"dora/internal/telemetry"
 	"dora/internal/webdoc"
 	"dora/internal/webgen"
 	"dora/internal/workload"
@@ -220,6 +221,52 @@ func BenchmarkAlgorithm1Pass(b *testing.B) {
 		if _, err := s.Models.PredictAll(s.SoC.OPPs, page, 8, 1, 45, experiment.Deadline, true); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchTelemetryMachine builds a machine with a looping high-intensity
+// co-runner for the telemetry-overhead benchmarks.
+func benchTelemetryMachine(b *testing.B) *soc.Machine {
+	b.Helper()
+	k, err := corun.Representative(corun.High)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := soc.New(soc.NexusFive(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.AssignSource(2, workload.Loop(k.New(1))); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkTelemetryDisabled measures the per-slice cost of the machine
+// with no sink, tracer, or trace callback attached — the disabled path
+// must stay allocation-free, so any regression shows up here as allocs
+// per op.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	m := benchTelemetryMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(time.Millisecond)
+	}
+}
+
+// BenchmarkTelemetryEnabled is the same workload with a sink and tracer
+// attached, to quantify the enabled-path overhead.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	m := benchTelemetryMachine(b)
+	sink := telemetry.NewSink(telemetry.SinkOptions{})
+	sink.Subscribe(func(telemetry.Sample) {})
+	m.SetSink(sink)
+	m.SetTracer(telemetry.NewTracer())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(time.Millisecond)
 	}
 }
 

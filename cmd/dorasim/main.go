@@ -6,12 +6,14 @@
 //	dorasim -page Reddit -corun backprop -governor interactive
 //	dorasim -page MSN -corun bfs -governor DORA -models models.json
 //	dorasim -page ESPN -freq 1497
+//	dorasim -page Reddit -corun srad -trace out.json -decisions dec.jsonl -metrics m.prom
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"dora"
+	"dora/internal/asciichart"
 	"dora/internal/core"
 	"dora/internal/soc"
 	"dora/internal/tablefmt"
@@ -34,7 +37,10 @@ func main() {
 	deadline := flag.Duration("deadline", 3*time.Second, "QoS load-time target")
 	modelsPath := flag.String("models", "", "trained models JSON (required for DORA/DL/EE)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	trace := flag.String("trace", "", "write a per-millisecond CSV trace (time,freq,power,temp,bus_util) to this file")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file (load into Perfetto / chrome://tracing)")
+	traceCSV := flag.String("tracecsv", "", "write a per-millisecond CSV trace (time,freq,power,temp,bus_util) to this file")
+	decisions := flag.String("decisions", "", "write the governor decision log (.csv for CSV, anything else for JSONL)")
+	metrics := flag.String("metrics", "", "write run metrics (.json for JSON, anything else for Prometheus text)")
 	list := flag.Bool("list", false, "list pages and kernels, then exit")
 	flag.Parse()
 
@@ -66,22 +72,66 @@ func main() {
 		DecisionInterval: interval,
 		Seed:             *seed,
 	}
-	if *trace != "" {
+	if *traceCSV != "" {
 		traceBuf.WriteString("time_s,freq_mhz,power_w,soc_temp_c,bus_util\n")
 		opts.TraceFn = func(s soc.TraceSample) {
 			fmt.Fprintf(&traceBuf, "%.3f,%d,%.3f,%.2f,%.3f\n",
 				s.Now.Seconds(), s.FreqMHz, s.PowerW, s.SoCTempC, s.BusUtil)
 		}
 	}
+	if *trace != "" {
+		opts.Tracer = dora.NewTracer()
+	}
+	if *decisions != "" {
+		opts.Decisions = dora.NewDecisionLog()
+	}
+	reg := dora.NewRegistry()
+	opts.Metrics = reg
+
+	// Per-millisecond frequency/temperature history for the sparklines.
+	var freqHist, tempHist []float64
+	sink := dora.NewSink(dora.SinkOptions{})
+	sink.Subscribe(func(s dora.Sample) {
+		freqHist = append(freqHist, float64(s.FreqMHz))
+		tempHist = append(tempHist, s.SoCTempC)
+	})
+	opts.Sink = sink
+
 	res, err := dora.LoadPage(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *trace != "" {
-		if err := os.WriteFile(*trace, []byte(traceBuf.String()), 0o644); err != nil {
+	if *traceCSV != "" {
+		if err := os.WriteFile(*traceCSV, []byte(traceBuf.String()), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trace written to %s\n", *trace)
+		fmt.Printf("csv trace written to %s\n", *traceCSV)
+	}
+	if *trace != "" {
+		if err := writeFileWith(*trace, opts.Tracer.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (%d events)\n", *trace, opts.Tracer.Len())
+	}
+	if *decisions != "" {
+		w := opts.Decisions.WriteJSONL
+		if strings.HasSuffix(*decisions, ".csv") {
+			w = opts.Decisions.WriteCSV
+		}
+		if err := writeFileWith(*decisions, w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decision log written to %s (%d records)\n", *decisions, opts.Decisions.Len())
+	}
+	if *metrics != "" {
+		w := reg.WritePrometheus
+		if strings.HasSuffix(*metrics, ".json") {
+			w = reg.WriteJSON
+		}
+		if err := writeFileWith(*metrics, w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
 	}
 
 	t := tablefmt.New(fmt.Sprintf("%s + %s under %s", res.Page, orNone(res.CoRunName), gov.Name()),
@@ -112,6 +162,44 @@ func main() {
 			fmt.Sprintf("%.1f", 100*float64(r.d)/float64(res.LoadTime)))
 	}
 	fmt.Println(rt.String())
+
+	if spark := asciichart.Sparkline(freqHist, 64); spark != "" {
+		lo, hi := minMax(freqHist)
+		fmt.Printf("freq MHz  %s  [%.0f..%.0f]\n", spark, lo, hi)
+	}
+	if spark := asciichart.Sparkline(tempHist, 64); spark != "" {
+		lo, hi := minMax(tempHist)
+		fmt.Printf("SoC degC  %s  [%.1f..%.1f]\n", spark, lo, hi)
+	}
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// writeFileWith streams an exposition function into a file.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildGovernor(dev dora.Device, name string, freq int, modelsPath string) (dora.Governor, time.Duration, error) {

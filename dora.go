@@ -45,6 +45,7 @@ import (
 	"dora/internal/governor"
 	"dora/internal/sim"
 	"dora/internal/soc"
+	"dora/internal/telemetry"
 	"dora/internal/train"
 	"dora/internal/webgen"
 )
@@ -68,7 +69,32 @@ type (
 	Suite = experiment.Suite
 	// Intensity is a co-runner memory-intensity class.
 	Intensity = corun.Intensity
+
+	// Telemetry types (see internal/telemetry). Sample is one per-slice
+	// observability record; Sink fans samples out to subscribers through
+	// a bounded ring; Tracer records Chrome trace_event spans; DecisionLog
+	// captures one record per governor decision; Registry accumulates
+	// counters, gauges, and histograms with Prometheus/JSON exposition.
+	Sample      = telemetry.Sample
+	Sink        = telemetry.Sink
+	SinkOptions = telemetry.SinkOptions
+	Tracer      = telemetry.Tracer
+	DecisionLog = telemetry.DecisionLog
+	Registry    = telemetry.Registry
 )
+
+// NewSink builds a telemetry sink (ring buffer + decimation fan-out).
+func NewSink(opts SinkOptions) *Sink { return telemetry.NewSink(opts) }
+
+// NewTracer builds a Chrome trace_event recorder; pass it via
+// LoadOptions.Tracer and write the result with Tracer.WriteJSON.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewDecisionLog builds a governor decision log (JSONL/CSV exposition).
+func NewDecisionLog() *DecisionLog { return telemetry.NewDecisionLog() }
+
+// NewRegistry builds a metrics registry (Prometheus-text/JSON exposition).
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
 
 // Intensity classes (Table III).
 const (
@@ -196,13 +222,27 @@ type LoadOptions struct {
 	// cpufreq baselines; use 100 ms for model-based governors, as the
 	// paper does).
 	DecisionInterval time.Duration
-	Seed             int64
+	// Warmup is the co-runner-only lead-in before the measured load
+	// begins (default 500 ms).
+	Warmup time.Duration
+	// MaxLoadTime aborts a load that runs past the cutoff (default 30 s).
+	MaxLoadTime time.Duration
+	Seed        int64
 	// AmbientC overrides ambient temperature (0 = 25 degC).
 	AmbientC float64
 	// TraceFn, when set, receives one observability sample per
 	// simulated millisecond (frequency, power, temperature, bus
-	// utilization).
+	// utilization). Legacy single-subscriber hook; prefer Sink.
 	TraceFn func(soc.TraceSample)
+	// Sink receives the same per-slice samples through the
+	// multi-subscriber telemetry sink.
+	Sink *Sink
+	// Tracer records Chrome trace_event spans for the run.
+	Tracer *Tracer
+	// Decisions receives one record per governor decision interval.
+	Decisions *DecisionLog
+	// Metrics accumulates run counters, gauges, and histograms.
+	Metrics *Registry
 }
 
 // LoadPage performs one end-to-end measured page load.
@@ -227,9 +267,15 @@ func LoadPage(opts LoadOptions) (Result, error) {
 		Governor:         opts.Governor,
 		Deadline:         opts.Deadline,
 		DecisionInterval: opts.DecisionInterval,
+		Warmup:           opts.Warmup,
+		MaxLoadTime:      opts.MaxLoadTime,
 		Seed:             opts.Seed,
 		AmbientC:         opts.AmbientC,
 		TraceFn:          opts.TraceFn,
+		Sink:             opts.Sink,
+		Tracer:           opts.Tracer,
+		Decisions:        opts.Decisions,
+		Metrics:          opts.Metrics,
 	}, wl)
 }
 

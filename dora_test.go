@@ -95,6 +95,9 @@ func TestLoadPageErrors(t *testing.T) {
 }
 
 func TestTrainedGovernorsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models (tiny grid, ~30 s)")
+	}
 	models := apiTrain(t)
 	dora, err := NewDORA(models)
 	if err != nil {

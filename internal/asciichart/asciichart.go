@@ -116,6 +116,58 @@ func Plot(title string, series []Series, width, height int) string {
 	return b.String()
 }
 
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the values as a single line of eight-level block
+// glyphs, downsampled (bucket means) to at most width columns. The
+// vertical scale spans the data's own min..max so small variations stay
+// visible. Returns "" for empty input.
+func Sparkline(values []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var clean []float64
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return ""
+	}
+	// Downsample to width buckets by averaging.
+	if len(clean) > width {
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(clean) / width
+			hi := (i + 1) * len(clean) / width
+			if hi == lo {
+				hi = lo + 1
+			}
+			s := 0.0
+			for _, v := range clean[lo:hi] {
+				s += v
+			}
+			out[i] = s / float64(hi-lo)
+		}
+		clean = out
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range clean {
+		minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+	}
+	span := maxV - minV
+	var b strings.Builder
+	for _, v := range clean {
+		i := 0
+		if span > 0 {
+			i = int((v - minV) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
+}
+
 // Bars renders a horizontal bar chart; values may be negative (bars
 // extend from a zero baseline). Returns "" for empty input.
 func Bars(title string, labels []string, values []float64, width int) string {

@@ -231,6 +231,13 @@ type Governor struct {
 
 	decisions  int
 	decideTime time.Duration
+
+	// Last Algorithm-1 pass internals, for the decision log. Stored as
+	// plain fields so Decide stays allocation-free; DecisionDetails
+	// builds the map only when a log asks for it.
+	lastValid    bool
+	lastPred     Prediction
+	lastFeasible int
 }
 
 var _ governor.Governor = (*Governor)(nil)
@@ -256,8 +263,30 @@ func (g *Governor) Name() string {
 func (g *Governor) Reset() {
 	g.decisions = 0
 	g.decideTime = 0
+	g.lastValid = false
 	if g.opts.Fallback != nil {
 		g.opts.Fallback.Reset()
+	}
+}
+
+// DecisionDetails implements governor.Instrumented: the predicted
+// outcome at the OPP chosen by the last model pass, and how many
+// candidate settings were deadline-feasible. Nil when the last
+// interval had no page load in flight.
+func (g *Governor) DecisionDetails() map[string]float64 {
+	if !g.lastValid {
+		return nil
+	}
+	feasible := 0.0
+	if g.lastPred.Feasible {
+		feasible = 1
+	}
+	return map[string]float64{
+		"pred_load_s":     g.lastPred.LoadTimeS,
+		"pred_power_w":    g.lastPred.PowerW,
+		"pred_ppw":        g.lastPred.PPW,
+		"chosen_feasible": feasible,
+		"feasible_opps":   float64(g.lastFeasible),
 	}
 }
 
@@ -294,7 +323,19 @@ func (g *Governor) Decide(ctx governor.Context) dvfs.OPP {
 	)
 	if err != nil {
 		// A usable governor never wedges the device: fail to max.
+		g.lastValid = false
 		return ctx.Table.Max()
+	}
+	g.lastFeasible = 0
+	for i := range preds {
+		if preds[i].Feasible {
+			g.lastFeasible++
+		}
+	}
+	record := func(p Prediction) dvfs.OPP {
+		g.lastValid = true
+		g.lastPred = p
+		return p.OPP
 	}
 
 	switch g.opts.Mode {
@@ -305,15 +346,15 @@ func (g *Governor) Decide(ctx governor.Context) dvfs.OPP {
 				best = p
 			}
 		}
-		return best.OPP
+		return record(best)
 
 	case ModeDL:
 		for _, p := range preds { // ascending frequency
 			if p.Feasible {
-				return p.OPP
+				return record(p)
 			}
 		}
-		return ctx.Table.Max()
+		return record(preds[len(preds)-1]) // table max
 
 	default: // ModeDORA — Algorithm 1
 		var best *Prediction
@@ -329,8 +370,8 @@ func (g *Governor) Decide(ctx governor.Context) dvfs.OPP {
 		if best == nil {
 			// No setting meets the deadline: prioritize QoS and load as
 			// fast as possible (paper, Section V-D).
-			return ctx.Table.Max()
+			return record(preds[len(preds)-1])
 		}
-		return best.OPP
+		return record(*best)
 	}
 }

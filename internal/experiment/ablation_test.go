@@ -6,6 +6,9 @@ import (
 )
 
 func TestPiecewiseAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
 	s := tinySuite(t)
 	res, err := s.PiecewiseAblation()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"dora/internal/governor"
 	"dora/internal/sim"
 	"dora/internal/soc"
+	"dora/internal/telemetry"
 	"dora/internal/train"
 	"dora/internal/webgen"
 )
@@ -42,6 +43,10 @@ type Suite struct {
 	HoldoutReport train.Report
 	Observations  []train.Observation
 	Seed          int64
+
+	// Metrics, when set, counts suite activity (runs executed, memo
+	// cache hits) alongside the per-run simulation metrics.
+	Metrics *telemetry.Registry
 
 	mu    sync.Mutex
 	cache map[string]sim.Result
@@ -158,6 +163,7 @@ func (s *Suite) Run(o RunOptions) (sim.Result, error) {
 	s.mu.Lock()
 	if r, ok := s.cache[key]; ok {
 		s.mu.Unlock()
+		s.Metrics.Counter("dora_suite_cache_hits_total", "memoized measurements served from cache").Inc()
 		return r, nil
 	}
 	s.mu.Unlock()
@@ -196,7 +202,9 @@ func (s *Suite) Run(o RunOptions) (sim.Result, error) {
 		Seed:             s.Seed + int64(o.KernelIdx)*31 + int64(len(o.Page)),
 		AmbientC:         o.AmbientC,
 		Warmup:           o.Warmup,
+		Metrics:          s.Metrics,
 	}
+	s.Metrics.Counter("dora_suite_runs_total", "measurements executed (cache misses)").Inc()
 	if o.StartTempC != 0 {
 		opts.StartTempC = o.StartTempC
 	} else if o.AmbientC != 0 && o.AmbientC < 20 {

@@ -16,6 +16,7 @@ import (
 
 	"dora/internal/dvfs"
 	"dora/internal/perfmon"
+	"dora/internal/telemetry"
 )
 
 // Context is what a user-space governor can observe at a decision
@@ -93,6 +94,55 @@ type Governor interface {
 	Decide(ctx Context) dvfs.OPP
 	// Reset clears internal state between experiment runs.
 	Reset()
+}
+
+// Instrumented is implemented by governors that expose model-internal
+// values of their most recent decision (predicted load time, PPW,
+// feasible-candidate count, ...). The decision log attaches them to
+// each record's extra fields.
+type Instrumented interface {
+	DecisionDetails() map[string]float64
+}
+
+// WithDecisionLog wraps g so that every decision appends one record to
+// log: the model inputs the governor observed (co-run MPKI and
+// utilization, max core utilization, SoC temperature, current OPP) and
+// the OPP it chose. If g implements Instrumented, its details ride
+// along in the record's Extra map. A nil log returns g unchanged.
+func WithDecisionLog(g Governor, log *telemetry.DecisionLog) Governor {
+	if log == nil {
+		return g
+	}
+	return &logged{g: g, log: log}
+}
+
+type logged struct {
+	g   Governor
+	log *telemetry.DecisionLog
+}
+
+func (l *logged) Name() string { return l.g.Name() }
+func (l *logged) Reset()       { l.g.Reset() }
+
+func (l *logged) Decide(ctx Context) dvfs.OPP {
+	opp := l.g.Decide(ctx)
+	d := telemetry.Decision{
+		TimeMs:     float64(ctx.Now) / 1e6,
+		ElapsedMs:  float64(ctx.Elapsed) / 1e6,
+		Governor:   l.g.Name(),
+		MPKI:       ctx.CoRunMPKI(),
+		CoRunUtil:  ctx.CoRunUtilization(),
+		MaxUtil:    ctx.MaxUtilization(),
+		TempC:      ctx.SoCTempC,
+		CurMHz:     ctx.Current.FreqMHz,
+		ChosenMHz:  opp.FreqMHz,
+		DeadlineMs: float64(ctx.Deadline) / 1e6,
+	}
+	if in, ok := l.g.(Instrumented); ok {
+		d.Extra = in.DecisionDetails()
+	}
+	l.log.Record(d)
+	return opp
 }
 
 // --- performance ----------------------------------------------------

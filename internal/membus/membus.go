@@ -78,9 +78,12 @@ func (c Config) Validate() error {
 type WindowStats struct {
 	Duration     time.Duration
 	Transactions int64
-	PerOwner     []int64
-	Utilization  float64 // demanded/peak bandwidth, clamped to MaxUtilization
-	EnergyJ      float64 // transfer + idle energy for the window
+	// PerOwner aliases a scratch buffer reused by the next EndWindow
+	// call (the hot path closes a window every slice and must not
+	// allocate); copy it if retained.
+	PerOwner    []int64
+	Utilization float64 // demanded/peak bandwidth, clamped to MaxUtilization
+	EnergyJ     float64 // transfer + idle energy for the window
 }
 
 // Bus is the windowed memory channel model.
@@ -89,6 +92,7 @@ type Bus struct {
 	freqMHz  int
 	lastUtil float64
 	window   []int64
+	perOwner []int64 // scratch handed out via WindowStats.PerOwner
 	totalTx  int64
 	totalEJ  float64
 }
@@ -102,9 +106,10 @@ func New(cfg Config, initialFreqMHz int) (*Bus, error) {
 		return nil, fmt.Errorf("membus: invalid initial frequency %d", initialFreqMHz)
 	}
 	return &Bus{
-		cfg:     cfg,
-		freqMHz: initialFreqMHz,
-		window:  make([]int64, cfg.MaxOwners),
+		cfg:      cfg,
+		freqMHz:  initialFreqMHz,
+		window:   make([]int64, cfg.MaxOwners),
+		perOwner: make([]int64, cfg.MaxOwners),
 	}, nil
 }
 
@@ -173,7 +178,7 @@ func (b *Bus) EndWindow(dur time.Duration) (WindowStats, error) {
 		return WindowStats{}, errors.New("membus: non-positive window duration")
 	}
 	var tx int64
-	per := make([]int64, len(b.window))
+	per := b.perOwner
 	copy(per, b.window)
 	for _, n := range b.window {
 		tx += n

@@ -18,17 +18,38 @@ type Counters struct {
 	BusTx        uint64 // memory-bus transactions issued
 }
 
-// Sub returns the window delta c - prev (counters are monotone).
+// Sub returns the window delta c - prev. Counters are nominally
+// monotone, but a reset (machine rebuild, counter wrap) can leave prev
+// above the current snapshot; a raw subtraction would then underflow to
+// a near-2^64 delta and poison every derived rate. Each field whose
+// snapshot went backwards is treated as freshly reset: the delta is the
+// current value itself.
 func (c Counters) Sub(prev Counters) Counters {
 	return Counters{
-		Instructions: c.Instructions - prev.Instructions,
-		BusyNs:       c.BusyNs - prev.BusyNs,
-		StallNs:      c.StallNs - prev.StallNs,
-		IdleNs:       c.IdleNs - prev.IdleNs,
-		L2Accesses:   c.L2Accesses - prev.L2Accesses,
-		L2Misses:     c.L2Misses - prev.L2Misses,
-		BusTx:        c.BusTx - prev.BusTx,
+		Instructions: subU(c.Instructions, prev.Instructions),
+		BusyNs:       subI(c.BusyNs, prev.BusyNs),
+		StallNs:      subI(c.StallNs, prev.StallNs),
+		IdleNs:       subI(c.IdleNs, prev.IdleNs),
+		L2Accesses:   subU(c.L2Accesses, prev.L2Accesses),
+		L2Misses:     subU(c.L2Misses, prev.L2Misses),
+		BusTx:        subU(c.BusTx, prev.BusTx),
 	}
+}
+
+// subU subtracts monotone uint64 counters, detecting a reset.
+func subU(cur, prev uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// subI does the same for the time-accumulator fields.
+func subI(cur, prev int64) int64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
 }
 
 // Add accumulates two counter sets (for cluster-level aggregates).

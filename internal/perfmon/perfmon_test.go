@@ -19,6 +19,36 @@ func TestSubAdd(t *testing.T) {
 	}
 }
 
+func TestSubCounterReset(t *testing.T) {
+	// A counter source reset between snapshots leaves prev above cur; a
+	// raw uint64 subtraction would wrap to ~2^64 and blow up MPKI and
+	// utilization. The delta must instead be the post-reset value.
+	prev := Counters{Instructions: 1_000_000, BusyNs: 5_000, StallNs: 500, IdleNs: 4_000, L2Accesses: 900, L2Misses: 300, BusTx: 250}
+	cur := Counters{Instructions: 2_000, BusyNs: 100, StallNs: 10, IdleNs: 50, L2Accesses: 40, L2Misses: 8, BusTx: 6}
+	d := cur.Sub(prev)
+	if d != cur {
+		t.Fatalf("reset delta = %+v, want the post-reset snapshot %+v", d, cur)
+	}
+	if m := d.MPKI(); m < 0 || m > 1000 {
+		t.Fatalf("MPKI after reset = %v, not sane", m)
+	}
+	// Mixed case: only some fields went backwards.
+	mixed := Counters{Instructions: 1_500_000, BusyNs: 2_000, L2Misses: 400}
+	d = mixed.Sub(prev)
+	if d.Instructions != 500_000 {
+		t.Fatalf("monotone field delta = %d, want 500000", d.Instructions)
+	}
+	if d.BusyNs != 2_000 {
+		t.Fatalf("reset field delta = %d, want 2000", d.BusyNs)
+	}
+	if d.L2Misses != 100 {
+		t.Fatalf("L2Misses delta = %d, want 100", d.L2Misses)
+	}
+	if d.IdleNs != 0 || d.BusTx != 0 {
+		t.Fatalf("zeroed fields must clamp to 0: %+v", d)
+	}
+}
+
 func TestDerivedMetrics(t *testing.T) {
 	c := Counters{Instructions: 2000, BusyNs: 750, StallNs: 250, IdleNs: 250, L2Accesses: 40, L2Misses: 10}
 	if got := c.Utilization(); got != 0.75 {

@@ -18,6 +18,7 @@ import (
 	"dora/internal/power"
 	"dora/internal/render"
 	"dora/internal/soc"
+	"dora/internal/telemetry"
 	"dora/internal/webdoc"
 	"dora/internal/webgen"
 	"dora/internal/workload"
@@ -45,8 +46,24 @@ type Options struct {
 	RenderConfig     *render.Config // nil = render.DefaultConfig()
 	// TraceFn, when set, receives one observability sample per
 	// simulated millisecond (frequency, power, temperature, bus
-	// utilization) for the whole run including warmup.
+	// utilization) for the whole run including warmup. It is the
+	// legacy single-subscriber hook; prefer Sink.
 	TraceFn func(soc.TraceSample)
+
+	// Sink, when set, receives the same per-slice samples through the
+	// multi-subscriber telemetry sink (ring buffer + decimation).
+	Sink *telemetry.Sink
+	// Tracer, when set, records Chrome trace_event spans: per-core
+	// workload segments (render phases, co-runner kernels), governor
+	// decisions, DVFS transitions, thermal-throttle episodes, and the
+	// warmup/load run phases.
+	Tracer *telemetry.Tracer
+	// Decisions, when set, receives one record per governor decision
+	// interval (model inputs and the chosen OPP).
+	Decisions *telemetry.DecisionLog
+	// Metrics, when set, accumulates run counters, gauges, and
+	// histograms (decisions, DVFS switches, MPKI distribution, ...).
+	Metrics *telemetry.Registry
 }
 
 func (o *Options) fillDefaults() {
@@ -140,7 +157,20 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 	if opts.TraceFn != nil {
 		m.SetTraceFn(opts.TraceFn)
 	}
-	gov := opts.Governor
+	m.SetSink(opts.Sink)
+	m.SetTracer(opts.Tracer)
+	tr := opts.Tracer
+	if tr != nil {
+		tr.NameThread(BrowserMainCore, "core0 browser-main")
+		tr.NameThread(BrowserHelperCore, "core1 browser-helper")
+		tr.NameThread(CoRunCore, "core2 corun")
+		tr.NameThread(OffCore, "core3 off")
+		tr.NameThread(telemetry.TidGovernor, "governor")
+		tr.NameThread(telemetry.TidDVFS, "dvfs")
+		tr.NameThread(telemetry.TidThermal, "thermal")
+		tr.NameThread(telemetry.TidRun, "run")
+	}
+	gov := governor.WithDecisionLog(opts.Governor, opts.Decisions)
 	gov.Reset()
 
 	res := Result{
@@ -157,6 +187,20 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 			return Result{}, err
 		}
 	}
+
+	var (
+		decisionsC *telemetry.Counter
+		mpkiH      *telemetry.Histogram
+		freqG      *telemetry.Gauge
+		tempG      *telemetry.Gauge
+	)
+	if reg := opts.Metrics; reg != nil {
+		decisionsC = reg.Counter("dora_governor_decisions_total", "governor decision intervals executed")
+		mpkiH = reg.Histogram("dora_decision_corun_mpki", "co-run L2 MPKI observed at decision points", telemetry.LinearBuckets(0, 4, 12))
+		freqG = reg.Gauge("dora_core_freq_mhz", "core frequency chosen at the last decision")
+		tempG = reg.Gauge("dora_soc_temp_c", "SoC temperature at the last decision")
+	}
+	decideName := "decide:" + gov.Name()
 
 	sampler := perfmon.NewSampler()
 	cores := opts.SoC.Cores
@@ -177,13 +221,33 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 			PageFeatures: features,
 			SoCTempC:     m.SoCTemp(),
 		}
-		m.SetOPP(gov.Decide(ctx))
+		chosen := gov.Decide(ctx)
+		if tr != nil {
+			tr.Span("governor", decideName, telemetry.TidGovernor,
+				m.Now(), m.Now()+opts.DecisionInterval, map[string]float64{
+					"corun_mpki": ctx.CoRunMPKI(),
+					"corun_util": ctx.CoRunUtilization(),
+					"soc_temp_c": ctx.SoCTempC,
+					"chosen_mhz": float64(chosen.FreqMHz),
+				})
+			tr.Counter("core_freq_mhz", m.Now(), map[string]float64{"freq": float64(chosen.FreqMHz)})
+		}
+		if opts.Metrics != nil {
+			decisionsC.Inc()
+			mpkiH.Observe(ctx.CoRunMPKI())
+			freqG.Set(float64(chosen.FreqMHz))
+			tempG.Set(ctx.SoCTempC)
+		}
+		m.SetOPP(chosen)
 	}
 
 	// Warmup: the co-runner (if any) runs alone; the governor is live.
 	for m.Now() < opts.Warmup {
 		decide(nil, 0)
 		m.Step(opts.DecisionInterval)
+	}
+	if tr != nil && m.Now() > 0 {
+		tr.Span("run", "warmup", telemetry.TidRun, 0, m.Now(), nil)
 	}
 
 	// Page load begins.
@@ -247,6 +311,21 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 	res.AvgCoRunMPKI = coRunDelta.MPKI()
 	res.AvgCoRunUtil = coRunDelta.Utilization()
 	res.CoRunInstructions = coRunDelta.Instructions
+
+	if tr != nil {
+		tr.Span("run", "load:"+wl.Page.Name, telemetry.TidRun, start, m.Now(), map[string]float64{
+			"load_ms":  float64(res.LoadTime) / 1e6,
+			"energy_j": res.EnergyJ,
+		})
+	}
+	m.FlushTrace()
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("dora_page_loads_total", "page loads completed").Inc()
+		reg.Counter("dora_dvfs_switches_total", "OPP transitions performed").Add(uint64(res.Switches))
+		reg.Gauge("dora_last_load_time_s", "load time of the most recent page load").Set(res.LoadTime.Seconds())
+		reg.Gauge("dora_last_energy_j", "whole-device energy of the most recent page load").Set(res.EnergyJ)
+		reg.Histogram("dora_load_time_s", "page load time distribution", telemetry.LinearBuckets(0, 0.5, 12)).Observe(res.LoadTime.Seconds())
+	}
 	return res, nil
 }
 
@@ -271,7 +350,12 @@ func RunKernelInstructions(opts Options, k corun.Kernel, n uint64) (energyJ floa
 		m.SetAmbient(opts.AmbientC)
 	}
 	m.Prewarm(opts.StartTempC)
-	gov := opts.Governor
+	if opts.TraceFn != nil {
+		m.SetTraceFn(opts.TraceFn)
+	}
+	m.SetSink(opts.Sink)
+	m.SetTracer(opts.Tracer)
+	gov := governor.WithDecisionLog(opts.Governor, opts.Decisions)
 	gov.Reset()
 	if err := m.AssignSource(CoRunCore, workload.Loop(k.New(opts.Seed+1))); err != nil {
 		return 0, 0, err
@@ -293,6 +377,7 @@ func RunKernelInstructions(opts Options, k corun.Kernel, n uint64) (energyJ floa
 		}))
 		m.Step(opts.DecisionInterval)
 	}
+	m.FlushTrace()
 	return m.EnergyJ(), m.Now(), nil
 }
 
@@ -312,7 +397,12 @@ func RunKernelAlone(opts Options, k corun.Kernel, d time.Duration) (energyJ floa
 		m.SetAmbient(opts.AmbientC)
 	}
 	m.Prewarm(opts.StartTempC)
-	gov := opts.Governor
+	if opts.TraceFn != nil {
+		m.SetTraceFn(opts.TraceFn)
+	}
+	m.SetSink(opts.Sink)
+	m.SetTracer(opts.Tracer)
+	gov := governor.WithDecisionLog(opts.Governor, opts.Decisions)
 	gov.Reset()
 	if err := m.AssignSource(CoRunCore, workload.Loop(k.New(opts.Seed+1))); err != nil {
 		return 0, err
@@ -333,5 +423,6 @@ func RunKernelAlone(opts Options, k corun.Kernel, d time.Duration) (energyJ floa
 		}))
 		m.Step(opts.DecisionInterval)
 	}
+	m.FlushTrace()
 	return m.EnergyJ(), nil
 }

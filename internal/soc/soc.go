@@ -28,6 +28,7 @@ import (
 	"dora/internal/membus"
 	"dora/internal/perfmon"
 	"dora/internal/power"
+	"dora/internal/telemetry"
 	"dora/internal/thermal"
 	"dora/internal/workload"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// calibrated reproduction uses the flat latency, which is the
 	// row-hit/conflict mix average).
 	UseBankModel bool
+
+	// ThermalTripC is the SoC temperature above which an attached
+	// tracer records thermal-throttle events (0 disables).
+	ThermalTripC float64
 }
 
 // NexusFive returns the calibrated Nexus 5 configuration (Table II).
@@ -110,6 +115,7 @@ func NexusFive() Config {
 		QuantumNs:     250_000,   // 250 us
 		JitterPct:     0.02,
 		L2Replacement: cache.RandomRepl,
+		ThermalTripC:  75,
 	}
 }
 
@@ -142,6 +148,9 @@ func (c Config) Validate() error {
 	if c.JitterPct < 0 || c.JitterPct > 0.2 {
 		return errors.New("soc: JitterPct out of range")
 	}
+	if c.ThermalTripC < 0 {
+		return errors.New("soc: ThermalTripC must be >= 0")
+	}
 	return c.Power.Validate()
 }
 
@@ -163,6 +172,11 @@ type coreState struct {
 	// posByBase continues sequential/strided walks across segments
 	// that revisit the same region (multi-pass kernels).
 	posByBase map[uint64]uint64
+
+	// spanKind/spanStartNs track the open trace span for this core's
+	// current run of same-kind segments (tracer attached only).
+	spanKind    string
+	spanStartNs int64
 
 	counters perfmon.Counters
 
@@ -193,23 +207,36 @@ type Machine struct {
 	switchEJ   float64 // pending DVFS-switch energy
 
 	traceFn func(TraceSample)
+	sink    *telemetry.Sink
+	tracer  *telemetry.Tracer
 	banks   *membus.BankModel // nil unless Config.UseBankModel
+
+	corePowers []float64 // per-slice scratch for the power/thermal step
+	inTrip     bool      // SoC temperature above Config.ThermalTripC
+	tripStart  int64     // ns; start of the current trip episode
 }
 
-// TraceSample is one per-slice observability record.
-type TraceSample struct {
-	Now       time.Duration
-	FreqMHz   int
-	PowerW    float64
-	SoCTempC  float64
-	BusUtil   float64
-	LeakageW  float64
-	CoreDynW  float64
-	BaselineW float64
-}
+// TraceSample is one per-slice observability record. It is the
+// telemetry package's Sample type; the alias preserves the original
+// soc-level name.
+type TraceSample = telemetry.Sample
 
-// SetTraceFn installs a per-slice trace callback (nil disables).
+// SetTraceFn installs a per-slice trace callback (nil disables). It is
+// the original single-subscriber hook, kept as a thin adapter; new
+// code should attach a telemetry.Sink via SetSink instead.
 func (m *Machine) SetTraceFn(fn func(TraceSample)) { m.traceFn = fn }
+
+// SetSink attaches a telemetry sink receiving one Sample per
+// accounting slice (nil detaches).
+func (m *Machine) SetSink(s *telemetry.Sink) { m.sink = s }
+
+// SetTracer attaches a span tracer recording per-core segment spans,
+// DVFS transitions, and thermal-throttle events (nil detaches).
+// Span boundaries are quantized to the accounting slice.
+func (m *Machine) SetTracer(t *telemetry.Tracer) { m.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (m *Machine) Tracer() *telemetry.Tracer { return m.tracer }
 
 // New builds a machine at the lowest OPP, thermally at ambient.
 func New(cfg Config, seed int64) (*Machine, error) {
@@ -236,11 +263,12 @@ func New(cfg Config, seed int64) (*Machine, error) {
 	}
 
 	m := &Machine{
-		cfg:   cfg,
-		scale: scale,
-		cores: make([]coreState, cfg.Cores),
-		rng:   rand.New(rand.NewSource(seed)),
-		opp:   cfg.OPPs.Min(),
+		cfg:        cfg,
+		scale:      scale,
+		cores:      make([]coreState, cfg.Cores),
+		rng:        rand.New(rand.NewSource(seed)),
+		opp:        cfg.OPPs.Min(),
+		corePowers: make([]float64, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		l1, err := mkCache(fmt.Sprintf("l1-%d", i), cfg.L1SizeBytes, cfg.L1Ways, 1, cache.LRU)
@@ -282,6 +310,7 @@ func (m *Machine) AssignSource(core int, src workload.Source) error {
 		return fmt.Errorf("soc: core %d out of range", core)
 	}
 	c := &m.cores[core]
+	m.closeSegSpanAt(core, c)
 	c.src = src
 	c.done = false
 	c.seg = workload.Segment{}
@@ -296,6 +325,7 @@ func (m *Machine) AssignSource(core int, src workload.Source) error {
 func (m *Machine) ClearSource(core int) {
 	if core >= 0 && core < len(m.cores) {
 		c := &m.cores[core]
+		m.closeSegSpanAt(core, c)
 		c.src = nil
 		c.done = false
 		c.seg = workload.Segment{}
@@ -331,6 +361,16 @@ func (m *Machine) SetOPP(opp dvfs.OPP) {
 	}
 	if opp.FreqMHz == m.opp.FreqMHz {
 		return
+	}
+	if m.tracer != nil {
+		start := time.Duration(m.now)
+		m.tracer.Span("dvfs", fmt.Sprintf("dvfs:%d->%d", m.opp.FreqMHz, opp.FreqMHz),
+			telemetry.TidDVFS, start, start+m.cfg.OPPs.SwitchLatency,
+			map[string]float64{
+				"from_mhz": float64(m.opp.FreqMHz),
+				"to_mhz":   float64(opp.FreqMHz),
+				"to_v":     opp.VoltageV,
+			})
 	}
 	m.opp = opp
 	m.bus.SetFreqMHz(opp.BusFreqMHz)
@@ -422,7 +462,7 @@ func (m *Machine) stepSlice() {
 	var bd power.Breakdown
 	volt := m.opp.VoltageV
 	fHz := m.opp.FreqHz()
-	corePowers := make([]float64, len(m.cores))
+	corePowers := m.corePowers
 	for i := range m.cores {
 		c := &m.cores[i]
 		busy := float64(c.sliceBusyNs) / float64(m.cfg.SliceNs)
@@ -447,8 +487,11 @@ func (m *Machine) stepSlice() {
 	m.thermal.Step(slice, bd.SoC(), corePowers)
 	m.now += m.cfg.SliceNs
 
-	if m.traceFn != nil {
-		m.traceFn(TraceSample{
+	if m.tracer != nil && m.cfg.ThermalTripC > 0 {
+		m.checkThermalTrip()
+	}
+	if m.traceFn != nil || m.sink != nil {
+		s := TraceSample{
 			Now:       time.Duration(m.now),
 			FreqMHz:   m.opp.FreqMHz,
 			PowerW:    bd.Total(),
@@ -457,7 +500,48 @@ func (m *Machine) stepSlice() {
 			LeakageW:  bd.LeakageW,
 			CoreDynW:  bd.CoreDynamicW,
 			BaselineW: bd.BaselineW,
-		})
+		}
+		if m.traceFn != nil {
+			m.traceFn(s)
+		}
+		m.sink.Publish(s)
+	}
+}
+
+// checkThermalTrip records thermal-throttle telemetry: an instant
+// event when the SoC crosses the trip point, and a span covering each
+// above-trip episode once it ends.
+func (m *Machine) checkThermalTrip() {
+	temp := m.thermal.SoCTemp()
+	switch {
+	case !m.inTrip && temp >= m.cfg.ThermalTripC:
+		m.inTrip = true
+		m.tripStart = m.now
+		m.tracer.Instant("thermal", "thermal-trip-enter", telemetry.TidThermal,
+			time.Duration(m.now), map[string]float64{"temp_c": temp})
+	case m.inTrip && temp < m.cfg.ThermalTripC:
+		m.inTrip = false
+		m.tracer.Span("thermal", "thermal-throttle", telemetry.TidThermal,
+			time.Duration(m.tripStart), time.Duration(m.now),
+			map[string]float64{"trip_c": m.cfg.ThermalTripC})
+	}
+}
+
+// FlushTrace closes any open trace spans (per-core segment runs, an
+// in-progress thermal episode) at the current simulated time. Call it
+// once when a traced run ends.
+func (m *Machine) FlushTrace() {
+	if m.tracer == nil {
+		return
+	}
+	for i := range m.cores {
+		m.closeSegSpanAt(i, &m.cores[i])
+	}
+	if m.inTrip {
+		m.inTrip = false
+		m.tracer.Span("thermal", "thermal-throttle", telemetry.TidThermal,
+			time.Duration(m.tripStart), time.Duration(m.now),
+			map[string]float64{"trip_c": m.cfg.ThermalTripC})
 	}
 }
 
@@ -495,10 +579,13 @@ func (m *Machine) advanceCore(i int, budget int64) {
 			seg, ok := c.src.Next()
 			if !ok {
 				c.done = true
+				if m.tracer != nil {
+					m.closeSegSpanAt(i, c)
+				}
 				c.counters.IdleNs += budget
 				return
 			}
-			m.loadSegment(c, seg)
+			m.loadSegment(i, c, seg)
 			continue
 		}
 
@@ -554,9 +641,26 @@ func (m *Machine) advanceCore(i int, budget int64) {
 	}
 }
 
+// closeSegSpanAt emits the open segment-run span for core i, if any.
+func (m *Machine) closeSegSpanAt(core int, c *coreState) {
+	if m.tracer == nil || c.spanKind == "" {
+		return
+	}
+	m.tracer.Span("segment", c.spanKind, core,
+		time.Duration(c.spanStartNs), time.Duration(m.now), nil)
+	c.spanKind = ""
+}
+
 // loadSegment installs a new segment on the core, applying the sampled
 // scaling and work jitter.
-func (m *Machine) loadSegment(c *coreState, seg workload.Segment) {
+func (m *Machine) loadSegment(core int, c *coreState, seg workload.Segment) {
+	if m.tracer != nil && c.spanKind != seg.Kind {
+		// Consecutive same-kind segments (phase chunks) merge into one
+		// span; a kind change closes the run and opens the next.
+		m.closeSegSpanAt(core, c)
+		c.spanKind = seg.Kind
+		c.spanStartNs = m.now
+	}
 	if m.cfg.JitterPct > 0 && seg.Ops > 0 {
 		f := 1 + m.rng.NormFloat64()*m.cfg.JitterPct
 		if f < 0.5 {

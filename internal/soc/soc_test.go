@@ -8,6 +8,7 @@ import (
 	"dora/internal/corun"
 	"dora/internal/dvfs"
 	"dora/internal/perfmon"
+	"dora/internal/telemetry"
 	"dora/internal/workload"
 )
 
@@ -406,5 +407,60 @@ func TestBankModelMode(t *testing.T) {
 	bankGap := float64(rndBank) / float64(seqBank)
 	if bankGap <= flatGap {
 		t.Fatalf("bank model must widen the pattern gap: flat %v, bank %v", flatGap, bankGap)
+	}
+}
+
+func TestThermalTripTrace(t *testing.T) {
+	// Lower the trip point to just above the prewarm temperature so a
+	// heavy workload crosses it quickly, then cools back below it.
+	cfg := NexusFive()
+	cfg.ThermalTripC = 40
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Prewarm(38)
+	tr := telemetry.NewTracer()
+	m.SetTracer(tr)
+	m.SetOPP(cfg.OPPs.Max())
+	k, err := corun.Representative(corun.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		if err := m.AssignSource(i, workload.Loop(k.New(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m.SoCTemp() < cfg.ThermalTripC && m.Now() < 20*time.Second {
+		m.Step(10 * time.Millisecond)
+	}
+	if m.SoCTemp() < cfg.ThermalTripC {
+		t.Fatalf("workload never reached %v C (at %v C)", cfg.ThermalTripC, m.SoCTemp())
+	}
+	// Cool down: stop all work at the floor OPP until below the trip.
+	for i := 0; i < cfg.Cores; i++ {
+		m.ClearSource(i)
+	}
+	m.SetOPP(cfg.OPPs.Min())
+	for m.SoCTemp() >= cfg.ThermalTripC && m.Now() < 60*time.Second {
+		m.Step(100 * time.Millisecond)
+	}
+	m.FlushTrace()
+
+	var enter, episode bool
+	for _, e := range tr.Events() {
+		if e.Cat == "thermal" && e.Ph == "i" && e.Name == "thermal-trip-enter" {
+			enter = true
+		}
+		if e.Cat == "thermal" && e.Ph == "X" && e.Name == "thermal-throttle" {
+			episode = true
+			if e.Dur <= 0 {
+				t.Fatalf("throttle episode with non-positive duration: %+v", e)
+			}
+		}
+	}
+	if !enter || !episode {
+		t.Fatalf("thermal trip telemetry missing: enter=%v episode=%v", enter, episode)
 	}
 }

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Decision is one governor decision-interval record: the model inputs
+// the governor observed (co-run L2 MPKI, utilizations, temperature,
+// current OPP) and the OPP it chose. Extra carries optional
+// model-internal values (e.g. DORA's predicted load time and PPW at
+// the chosen setting).
+type Decision struct {
+	TimeMs     float64            `json:"t_ms"`
+	ElapsedMs  float64            `json:"elapsed_ms"`
+	Governor   string             `json:"governor"`
+	MPKI       float64            `json:"corun_mpki"`
+	CoRunUtil  float64            `json:"corun_util"`
+	MaxUtil    float64            `json:"max_util"`
+	TempC      float64            `json:"soc_temp_c"`
+	CurMHz     int                `json:"cur_mhz"`
+	ChosenMHz  int                `json:"chosen_mhz"`
+	DeadlineMs float64            `json:"deadline_ms,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// DecisionLog accumulates one Decision per governor decision interval.
+// A nil *DecisionLog ignores all calls.
+type DecisionLog struct {
+	mu      sync.Mutex
+	records []Decision
+}
+
+// NewDecisionLog returns an empty log.
+func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
+
+// Record appends one decision.
+func (l *DecisionLog) Record(d Decision) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.records = append(l.records, d)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded decisions.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of the recorded decisions, in order.
+func (l *DecisionLog) Records() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.records...)
+}
+
+// WriteJSONL writes one JSON object per line.
+func (l *DecisionLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range l.Records() {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes a header plus one row per decision. Extra keys are
+// flattened into extra.<key> columns (union over all records, sorted).
+func (l *DecisionLog) WriteCSV(w io.Writer) error {
+	records := l.Records()
+	extraKeys := map[string]bool{}
+	for _, d := range records {
+		for k := range d.Extra {
+			extraKeys[k] = true
+		}
+	}
+	extras := make([]string, 0, len(extraKeys))
+	for k := range extraKeys {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+
+	cw := csv.NewWriter(w)
+	header := []string{"t_ms", "elapsed_ms", "governor", "corun_mpki", "corun_util", "max_util", "soc_temp_c", "cur_mhz", "chosen_mhz", "deadline_ms"}
+	for _, k := range extras {
+		header = append(header, "extra."+k)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, d := range records {
+		row := []string{
+			f(d.TimeMs), f(d.ElapsedMs), d.Governor, f(d.MPKI), f(d.CoRunUtil),
+			f(d.MaxUtil), f(d.TempC), fmt.Sprint(d.CurMHz), fmt.Sprint(d.ChosenMHz), f(d.DeadlineMs),
+		}
+		for _, k := range extras {
+			row = append(row, f(d.Extra[k]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testDecisions() []Decision {
+	return []Decision{
+		{TimeMs: 500, ElapsedMs: 0, Governor: "interactive", MPKI: 12.5, CoRunUtil: 0.9,
+			MaxUtil: 0.95, TempC: 41.2, CurMHz: 960, ChosenMHz: 1497, DeadlineMs: 3000},
+		{TimeMs: 600, ElapsedMs: 100, Governor: "DORA", MPKI: 8.1, CoRunUtil: 0.8,
+			MaxUtil: 0.99, TempC: 42.0, CurMHz: 1497, ChosenMHz: 1190, DeadlineMs: 3000,
+			Extra: map[string]float64{"pred_load_s": 2.1, "pred_ppw": 0.11}},
+	}
+}
+
+func TestDecisionLogJSONL(t *testing.T) {
+	l := NewDecisionLog()
+	for _, d := range testDecisions() {
+		l.Record(d)
+	}
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var d Decision
+	if err := json.Unmarshal([]byte(lines[1]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Governor != "DORA" || d.ChosenMHz != 1190 || d.MPKI != 8.1 ||
+		d.TempC != 42.0 || d.Extra["pred_ppw"] != 0.11 {
+		t.Fatalf("round-trip = %+v", d)
+	}
+}
+
+func TestDecisionLogCSV(t *testing.T) {
+	l := NewDecisionLog()
+	for _, d := range testDecisions() {
+		l.Record(d)
+	}
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	header := strings.Join(rows[0], ",")
+	for _, col := range []string{"corun_mpki", "soc_temp_c", "chosen_mhz", "extra.pred_load_s", "extra.pred_ppw"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header missing %s: %s", col, header)
+		}
+	}
+	// Record 1 has no extras: its extra columns must be present but zero.
+	if rows[1][len(rows[1])-1] != "0" {
+		t.Fatalf("missing extras should render 0, got %q", rows[1][len(rows[1])-1])
+	}
+}
+
+func TestNilDecisionLogIsNoOp(t *testing.T) {
+	var l *DecisionLog
+	l.Record(Decision{})
+	if l.Len() != 0 || l.Records() != nil {
+		t.Fatal("nil log must be inert")
+	}
+	if err := l.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCSV(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import "sync"
+
+// SinkOptions configures a Sink.
+type SinkOptions struct {
+	// RingSize bounds the number of retained samples (default 4096).
+	// When full, the oldest samples are overwritten.
+	RingSize int
+	// Decimate keeps 1 in N published samples (default 1 = keep all);
+	// dropped samples are counted but neither stored nor fanned out.
+	// Decimation is what keeps live sampling cheap at high slice rates
+	// (Pac-Sim-style observability at acceptable overhead).
+	Decimate int
+}
+
+// Sink is a bounded multi-subscriber stream of machine samples. One
+// producer (the simulated machine) publishes a Sample per accounting
+// slice; any number of subscribers receive the decimated stream, and
+// the ring buffer retains the most recent samples for post-run
+// inspection. Publish is allocation-free.
+//
+// A nil *Sink ignores all calls.
+type Sink struct {
+	mu        sync.Mutex
+	ring      []Sample
+	next      int // ring write position
+	filled    bool
+	decimate  int
+	published uint64          // total offered, pre-decimation
+	kept      uint64          // stored + fanned out
+	subs      []*subscription // immutable slice: copied on (un)subscribe
+}
+
+type subscription struct {
+	fn func(Sample)
+}
+
+// NewSink returns a sink with the given options.
+func NewSink(opt SinkOptions) *Sink {
+	if opt.RingSize <= 0 {
+		opt.RingSize = 4096
+	}
+	if opt.Decimate <= 0 {
+		opt.Decimate = 1
+	}
+	return &Sink{ring: make([]Sample, opt.RingSize), decimate: opt.Decimate}
+}
+
+// Subscribe registers fn to receive every kept sample and returns an
+// unsubscribe function. fn is called synchronously from Publish; keep
+// it cheap.
+func (s *Sink) Subscribe(fn func(Sample)) (unsubscribe func()) {
+	if s == nil || fn == nil {
+		return func() {}
+	}
+	sub := &subscription{fn: fn}
+	s.mu.Lock()
+	subs := make([]*subscription, len(s.subs)+1)
+	copy(subs, s.subs)
+	subs[len(subs)-1] = sub
+	s.subs = subs
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		subs := make([]*subscription, 0, len(s.subs))
+		for _, x := range s.subs {
+			if x != sub {
+				subs = append(subs, x)
+			}
+		}
+		s.subs = subs
+	}
+}
+
+// Publish offers one sample to the sink. Samples dropped by decimation
+// are counted but not stored.
+func (s *Sink) Publish(sample Sample) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	n := s.published
+	s.published++
+	if s.decimate > 1 && n%uint64(s.decimate) != 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.kept++
+	s.ring[s.next] = sample
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.filled = true
+	}
+	subs := s.subs // immutable snapshot
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.fn(sample)
+	}
+}
+
+// Published returns the number of samples offered (before decimation).
+func (s *Sink) Published() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.published
+}
+
+// Kept returns the number of samples retained after decimation.
+func (s *Sink) Kept() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kept
+}
+
+// Snapshot returns the ring contents, oldest first. The result is a
+// fresh slice; the sink keeps publishing independently.
+func (s *Sink) Snapshot() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.filled {
+		return append([]Sample(nil), s.ring[:s.next]...)
+	}
+	out := make([]Sample, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleAt(ms int) Sample {
+	return Sample{Now: time.Duration(ms) * time.Millisecond, FreqMHz: 300 + ms}
+}
+
+func TestSinkRingWrap(t *testing.T) {
+	s := NewSink(SinkOptions{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		s.Publish(sampleAt(i))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	// Oldest-first: samples 6,7,8,9 survive.
+	for i, want := range []int{6, 7, 8, 9} {
+		if snap[i].FreqMHz != 300+want {
+			t.Fatalf("snap[%d] = %+v, want sample %d", i, snap[i], want)
+		}
+	}
+	if s.Published() != 10 || s.Kept() != 10 {
+		t.Fatalf("published %d kept %d", s.Published(), s.Kept())
+	}
+}
+
+func TestSinkPartialRing(t *testing.T) {
+	s := NewSink(SinkOptions{RingSize: 8})
+	for i := 0; i < 3; i++ {
+		s.Publish(sampleAt(i))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap[0].FreqMHz != 300 || snap[2].FreqMHz != 302 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestSinkDecimation(t *testing.T) {
+	s := NewSink(SinkOptions{RingSize: 100, Decimate: 10})
+	var got []Sample
+	s.Subscribe(func(x Sample) { got = append(got, x) })
+	for i := 0; i < 100; i++ {
+		s.Publish(sampleAt(i))
+	}
+	if len(got) != 10 {
+		t.Fatalf("subscriber saw %d samples, want 10", len(got))
+	}
+	for i, x := range got {
+		if x.FreqMHz != 300+10*i {
+			t.Fatalf("decimated stream sample %d = %+v", i, x)
+		}
+	}
+	if s.Published() != 100 || s.Kept() != 10 {
+		t.Fatalf("published %d kept %d", s.Published(), s.Kept())
+	}
+	if len(s.Snapshot()) != 10 {
+		t.Fatalf("ring kept %d", len(s.Snapshot()))
+	}
+}
+
+func TestSinkUnsubscribe(t *testing.T) {
+	s := NewSink(SinkOptions{})
+	n := 0
+	unsub := s.Subscribe(func(Sample) { n++ })
+	s.Publish(sampleAt(0))
+	unsub()
+	s.Publish(sampleAt(1))
+	if n != 1 {
+		t.Fatalf("subscriber called %d times, want 1", n)
+	}
+}
+
+// TestSinkConcurrent publishes while subscribers churn; run under
+// -race this validates the sink's locking discipline.
+func TestSinkConcurrent(t *testing.T) {
+	s := NewSink(SinkOptions{RingSize: 64})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	var mu sync.Mutex
+	seen := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				unsub := s.Subscribe(func(Sample) {
+					mu.Lock()
+					seen++
+					mu.Unlock()
+				})
+				unsub()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				s.Publish(sampleAt(base + j))
+			}
+		}(i * 10000)
+	}
+	// Let publishers finish, then stop the churners.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if s.Published() >= 10000 {
+			close(stop)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	if s.Published() != 10000 {
+		t.Fatalf("published = %d", s.Published())
+	}
+	if len(s.Snapshot()) != 64 {
+		t.Fatalf("ring = %d", len(s.Snapshot()))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_ = seen // any value is fine; the point is race-freedom
+}
+
+func TestNilSinkIsNoOp(t *testing.T) {
+	var s *Sink
+	s.Publish(sampleAt(0))
+	s.Subscribe(func(Sample) {})()
+	if s.Snapshot() != nil || s.Published() != 0 || s.Kept() != 0 {
+		t.Fatal("nil sink must be inert")
+	}
+}

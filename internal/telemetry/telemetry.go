@@ -1,0 +1,30 @@
+// Package telemetry is the observability layer of the simulated
+// device: a stdlib-only metrics registry (counters, gauges, fixed-
+// bucket histograms) with Prometheus-text and JSON exposition, a
+// Chrome trace_event span tracer (loadable in Perfetto or
+// chrome://tracing), a multi-subscriber sample sink with a bounded
+// ring buffer and configurable decimation, and a per-decision governor
+// log.
+//
+// Every collector in this package is optional and nil-safe: a nil
+// *Sink, *Tracer, *DecisionLog, or *Registry accepts calls and does
+// nothing, so instrumented code needs no guards and the telemetry-off
+// path stays allocation-free.
+package telemetry
+
+import "time"
+
+// Sample is one per-slice observability record of the simulated
+// machine — the quantities the paper samples every millisecond:
+// frequency, whole-device power and its components, SoC temperature,
+// and memory-bus utilization.
+type Sample struct {
+	Now       time.Duration
+	FreqMHz   int
+	PowerW    float64
+	SoCTempC  float64
+	BusUtil   float64
+	LeakageW  float64
+	CoreDynW  float64
+	BaselineW float64
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer accumulates spans, instant events, and counter tracks in the
+// Chrome trace_event JSON format, loadable in Perfetto or
+// chrome://tracing. Timestamps are simulated time; tracks (tid) let
+// callers separate per-core work, governor decisions, and DVFS
+// transitions.
+//
+// A nil *Tracer ignores all calls.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// TraceEvent is one Chrome trace_event record. Ts and Dur are in
+// microseconds, per the format.
+type TraceEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat,omitempty"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur,omitempty"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	S    string             `json:"s,omitempty"`    // instant scope
+	Args map[string]float64 `json:"args,omitempty"` // numeric args
+	Meta map[string]string  `json:"-"`              // metadata args (M events)
+}
+
+// Track IDs: cores use their index; the named tracks sit above them.
+const (
+	TidGovernor = 100 // governor decisions
+	TidDVFS     = 101 // frequency transitions
+	TidThermal  = 102 // thermal-throttle events
+	TidRun      = 103 // run phases (warmup, page load)
+)
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// Span records a complete event ("X") from start to end on a track.
+// args may be nil.
+func (t *Tracer) Span(cat, name string, tid int, start, end time.Duration, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: usOf(start), Dur: usOf(end - start), Tid: tid, Args: args,
+	})
+}
+
+// Instant records a point event ("i") with thread scope.
+func (t *Tracer) Instant(cat, name string, tid int, ts time.Duration, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: usOf(ts), Tid: tid, S: "t", Args: args})
+}
+
+// Counter records a counter-track sample ("C"); Perfetto renders each
+// key of values as a stacked series under the track name.
+func (t *Tracer) Counter(name string, ts time.Duration, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Ph: "C", Ts: usOf(ts), Args: values})
+}
+
+// NameThread attaches a display name to a track (metadata "M" event).
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "thread_name", Ph: "M", Tid: tid,
+		Meta: map[string]string{"name": name},
+	})
+}
+
+func (t *Tracer) append(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events sorted by timestamp
+// (metadata events first).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].Ts < evs[j].Ts
+	})
+	return evs
+}
+
+// WriteJSON writes the trace as a Chrome trace_event JSON object
+// ({"traceEvents": [...]}), events sorted by timestamp.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	evs := t.Events()
+	// Marshal through an anonymous struct so metadata args (string
+	// values) and numeric args share the one Args slot in the output.
+	type outEvent struct {
+		TraceEvent
+		OutArgs any `json:"args,omitempty"`
+	}
+	out := struct {
+		TraceEvents     []outEvent `json:"traceEvents"`
+		DisplayTimeUnit string     `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms", TraceEvents: make([]outEvent, 0, len(evs))}
+	for _, ev := range evs {
+		oe := outEvent{TraceEvent: ev}
+		oe.Args = nil // superseded by OutArgs
+		if ev.Meta != nil {
+			oe.OutArgs = ev.Meta
+		} else if ev.Args != nil {
+			oe.OutArgs = ev.Args
+		}
+		out.TraceEvents = append(out.TraceEvents, oe)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerWriteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(0, "browser-main")
+	tr.NameThread(TidDVFS, "dvfs")
+	tr.Span("render", "layout", 0, 10*time.Millisecond, 14*time.Millisecond,
+		map[string]float64{"ops": 1e6})
+	tr.Span("dvfs", "dvfs:960->1497", TidDVFS, 12*time.Millisecond, 12*time.Millisecond+120*time.Microsecond, nil)
+	tr.Instant("thermal", "thermal-trip-enter", TidThermal, 13*time.Millisecond, map[string]float64{"temp_c": 75.2})
+	tr.Counter("freq_mhz", 10*time.Millisecond, map[string]float64{"freq": 1497})
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	// Metadata events lead; the rest must be in nondecreasing ts order.
+	lastTs := -1.0
+	sawMeta := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			sawMeta++
+			continue
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("ts not monotone: %v after %v", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+	}
+	if sawMeta != 2 {
+		t.Fatalf("metadata events = %d", sawMeta)
+	}
+	// Thread-name metadata must carry string args.
+	var meta struct {
+		Args map[string]string `json:"args"`
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if err := json.Unmarshal(ev.Args, &meta.Args); err != nil || meta.Args["name"] == "" {
+				t.Fatalf("metadata args = %s (%v)", ev.Args, err)
+			}
+		}
+	}
+}
+
+func TestTracerSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("c", "x", 0, 5*time.Millisecond, 3*time.Millisecond, nil)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Dur != 0 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestTracerEventsSortedByTs(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("a", "late", 0, 9*time.Millisecond, nil)
+	tr.Instant("a", "early", 0, time.Millisecond, nil)
+	evs := tr.Events()
+	if evs[0].Name != "early" || evs[1].Name != "late" {
+		t.Fatalf("order = %s, %s", evs[0].Name, evs[1].Name)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Span("c", "x", 0, 0, time.Millisecond, nil)
+	tr.Instant("c", "y", 0, 0, nil)
+	tr.Counter("z", 0, nil)
+	tr.NameThread(0, "n")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
