@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test test-short race bench-pr2
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Parallel-determinism sweep: the same short test suite with a 4-way
+# worker pool and the race detector watching the fan-out.
+race:
+	DORA_WORKERS=4 $(GO) test -short -race ./...
+
+# Record the PR 2 performance trajectory (suite-build speedup and
+# telemetry overhead) into BENCH_PR2.json.
+bench-pr2:
+	scripts/bench_pr2.sh

@@ -270,6 +270,33 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteBuildParallel builds the tiny-grid suite end to end
+// (campaign, static fit, holdout, model fit) with a 4-way worker pool
+// and reports the speedup over an untimed serial build of the same
+// grid. The two builds produce bit-identical models, so the metric is
+// pure scheduling gain; on a single-CPU machine it reports ~1.
+func BenchmarkSuiteBuildParallel(b *testing.B) {
+	tc := func(workers int) experiment.TrainingConfig {
+		return experiment.TrainingConfig{
+			SoC: soc.NexusFive(), Seed: 1, Tiny: true, Workers: workers,
+		}
+	}
+	start := time.Now()
+	if _, err := experiment.NewSuite(tc(1)); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.NewSuite(tc(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parallel := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(4, "workers")
+}
+
 func BenchmarkSimulatedSecond(b *testing.B) {
 	// Cost of simulating one virtual second with a browser-like load
 	// and a high-intensity co-runner.

@@ -25,6 +25,8 @@ func main() {
 	full := flag.Bool("full", false, "use the full paper-scale training campaign")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	figs := flag.String("fig", "all", "comma-separated list: 1,2,3,table3,5,6,7,8,9,10,11,headline,overhead,interval,offlineopt,ablation-piecewise,ablation-replacement,complexity")
+	workers := flag.Int("workers", 0, "measurement worker pool size (0 = one per CPU or $DORA_WORKERS, 1 = serial)")
+	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-simulated runs")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -33,8 +35,24 @@ func main() {
 	}
 	sel := func(name string) bool { return want["all"] || want[name] }
 
+	var cache *dora.RunCache
+	if *cachePath != "" {
+		var err error
+		cache, err = dora.OpenRunCache(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run cache %s: %d entries\n", *cachePath, cache.Len())
+	}
+
 	fmt.Println("training models (simulated measurement campaign)...")
-	suite, err := dora.NewSuite(dora.DefaultDevice(), *seed, !*full)
+	suite, err := dora.NewSuiteOpts(dora.SuiteOptions{
+		Device:  dora.DefaultDevice(),
+		Seed:    *seed,
+		Fast:    !*full,
+		Workers: *workers,
+		Cache:   cache,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,5 +92,14 @@ func main() {
 			log.Fatalf("figure %s: %v", f.key, err)
 		}
 		fmt.Println(res.Table())
+	}
+
+	if cache != nil {
+		if err := cache.Save(); err != nil {
+			log.Fatal(err)
+		}
+		hits, misses, stores := cache.Stats()
+		fmt.Printf("run cache %s: %d hits, %d misses, %d new entries (now %d total)\n",
+			cache.Path(), hits, misses, stores, cache.Len())
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"dora"
 	"dora/internal/asciichart"
 	"dora/internal/core"
+	"dora/internal/runcache"
+	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/tablefmt"
 )
@@ -41,6 +43,7 @@ func main() {
 	traceCSV := flag.String("tracecsv", "", "write a per-millisecond CSV trace (time,freq,power,temp,bus_util) to this file")
 	decisions := flag.String("decisions", "", "write the governor decision log (.csv for CSV, anything else for JSONL)")
 	metrics := flag.String("metrics", "", "write run metrics (.json for JSON, anything else for Prometheus text)")
+	cachePath := flag.String("runcache", "", "persistent run cache file; repeat identical runs are served from it (ignored when trace/decision/metric outputs are requested)")
 	list := flag.Bool("list", false, "list pages and kernels, then exit")
 	flag.Parse()
 
@@ -57,9 +60,24 @@ func main() {
 	}
 
 	dev := dora.DefaultDevice()
-	gov, interval, err := buildGovernor(dev, *govName, *freq, *modelsPath)
+	gov, interval, models, err := buildGovernor(dev, *govName, *freq, *modelsPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Trace, decision-log, and metric outputs need a live simulation,
+	// so the cache only serves runs when none are requested.
+	var cache *runcache.Cache
+	var cacheKey string
+	if *cachePath != "" {
+		cache, err = runcache.Open(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *trace == "" && *traceCSV == "" && *decisions == "" && *metrics == "" {
+			cacheKey = runcache.Key("dorasim-run", sim.ConfigFingerprint(dev),
+				*seed, *page, *coRun, *govName, *freq, *deadline, models)
+		}
 	}
 
 	var traceBuf strings.Builder
@@ -97,9 +115,20 @@ func main() {
 	})
 	opts.Sink = sink
 
-	res, err := dora.LoadPage(opts)
-	if err != nil {
-		log.Fatal(err)
+	var res dora.Result
+	if cacheKey != "" && cache.Get(cacheKey, &res) {
+		fmt.Printf("run served from cache %s (sparklines need a live run)\n", cache.Path())
+	} else {
+		res, err = dora.LoadPage(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cacheKey != "" {
+			cache.Put(cacheKey, res)
+			if err := cache.Save(); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if *traceCSV != "" {
 		if err := os.WriteFile(*traceCSV, []byte(traceBuf.String()), 0o644); err != nil {
@@ -202,21 +231,21 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-func buildGovernor(dev dora.Device, name string, freq int, modelsPath string) (dora.Governor, time.Duration, error) {
+func buildGovernor(dev dora.Device, name string, freq int, modelsPath string) (dora.Governor, time.Duration, *core.Models, error) {
 	if freq > 0 {
-		return dora.NewFixed(dev, freq), 20 * time.Millisecond, nil
+		return dora.NewFixed(dev, freq), 20 * time.Millisecond, nil, nil
 	}
 	switch name {
 	case "interactive":
-		return dora.NewInteractive(), 20 * time.Millisecond, nil
+		return dora.NewInteractive(), 20 * time.Millisecond, nil, nil
 	case "performance":
-		return dora.NewPerformance(), 20 * time.Millisecond, nil
+		return dora.NewPerformance(), 20 * time.Millisecond, nil, nil
 	case "powersave":
-		return dora.NewPowersave(), 20 * time.Millisecond, nil
+		return dora.NewPowersave(), 20 * time.Millisecond, nil, nil
 	case "DORA", "DL", "EE", "DORA_no_lkg":
 		models, err := loadModels(modelsPath)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		var g dora.Governor
 		switch name {
@@ -229,9 +258,9 @@ func buildGovernor(dev dora.Device, name string, freq int, modelsPath string) (d
 		case "EE":
 			g, err = dora.NewEnergyOnly(models)
 		}
-		return g, 100 * time.Millisecond, err
+		return g, 100 * time.Millisecond, models, err
 	default:
-		return nil, 0, fmt.Errorf("unknown governor %q", name)
+		return nil, 0, nil, fmt.Errorf("unknown governor %q", name)
 	}
 }
 

@@ -30,7 +30,19 @@ func main() {
 	out := flag.String("out", "models.json", "output path for the trained models")
 	obsOut := flag.String("obs", "", "also save the raw campaign observations to this JSON file")
 	obsIn := flag.String("from-obs", "", "skip the campaign and fit from a saved observations file")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = one per CPU or $DORA_WORKERS, 1 = serial)")
+	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-measured cells")
 	flag.Parse()
+
+	var cache *dora.RunCache
+	if *cachePath != "" {
+		c, err := dora.OpenRunCache(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache = c
+		fmt.Printf("run cache %s: %d entries\n", *cachePath, cache.Len())
+	}
 
 	dev := dora.DefaultDevice()
 	var models *core.Models
@@ -44,7 +56,7 @@ func main() {
 			log.Fatal(err)
 		}
 		var static core.StaticPower
-		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed})
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +66,7 @@ func main() {
 		}
 	} else {
 		fmt.Println("running measurement campaign (this simulates hundreds of page loads)...")
-		tc := train.Config{SoC: dev, Seed: *seed}
+		tc := train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache}
 		if *fast {
 			tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
 			tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
@@ -71,7 +83,7 @@ func main() {
 			fmt.Printf("campaign observations written to %s\n", *obsOut)
 		}
 		var static core.StaticPower
-		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed})
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,6 +91,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if cache != nil {
+		if err := cache.Save(); err != nil {
+			log.Fatal(err)
+		}
+		hits, misses, stores := cache.Stats()
+		fmt.Printf("run cache %s: %d hits, %d misses, %d new entries (now %d total)\n",
+			cache.Path(), hits, misses, stores, cache.Len())
 	}
 
 	t := tablefmt.New("Model accuracy (training set)", "model", "mean_error_pct", "max_error_pct", "n")

@@ -43,6 +43,7 @@ import (
 	"dora/internal/corun"
 	"dora/internal/experiment"
 	"dora/internal/governor"
+	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/telemetry"
@@ -81,7 +82,16 @@ type (
 	Tracer      = telemetry.Tracer
 	DecisionLog = telemetry.DecisionLog
 	Registry    = telemetry.Registry
+
+	// RunCache persists simulation results across process invocations;
+	// a warm cache lets repeat campaigns and suite builds skip the
+	// simulator entirely. A nil *RunCache disables caching.
+	RunCache = runcache.Cache
 )
+
+// OpenRunCache loads (or creates) the persistent run cache at path.
+// Call Save when done to flush new entries back to disk.
+func OpenRunCache(path string) (*RunCache, error) { return runcache.Open(path) }
 
 // NewSink builds a telemetry sink (ring buffer + decimation fan-out).
 func NewSink(opts SinkOptions) *Sink { return telemetry.NewSink(opts) }
@@ -132,6 +142,13 @@ type TrainOptions struct {
 	// Tiny shrinks it further to a minimal demo grid (~40 runs);
 	// model fidelity is reduced but the governor behaviours survive.
 	Tiny bool
+	// Workers bounds the campaign fan-out: 0 = one worker per CPU (or
+	// the DORA_WORKERS environment override), 1 = serial. Results are
+	// identical at any width.
+	Workers int
+	// Cache, when set, serves previously measured campaign cells from
+	// disk and records fresh ones.
+	Cache *RunCache
 }
 
 // Train runs the paper's offline methodology: the fixed-frequency
@@ -139,7 +156,7 @@ type TrainOptions struct {
 // response-surface fits. It returns the trained models and the
 // training-set accuracy report.
 func Train(opts TrainOptions) (*Models, TrainReport, error) {
-	tc := train.Config{SoC: opts.Device, Seed: opts.Seed}
+	tc := train.Config{SoC: opts.Device, Seed: opts.Seed, Workers: opts.Workers, Cache: opts.Cache}
 	switch {
 	case opts.Tiny:
 		tc.Pages = []string{"Alipay", "Reddit", "MSN", "Hao123"}
@@ -153,7 +170,7 @@ func Train(opts TrainOptions) (*Models, TrainReport, error) {
 	if err != nil {
 		return nil, TrainReport{}, err
 	}
-	static, err := train.FitStatic(train.Config{SoC: opts.Device, Seed: opts.Seed})
+	static, err := train.FitStatic(train.Config{SoC: opts.Device, Seed: opts.Seed, Workers: opts.Workers, Cache: opts.Cache})
 	if err != nil {
 		return nil, TrainReport{}, err
 	}
@@ -282,5 +299,36 @@ func LoadPage(opts LoadOptions) (Result, error) {
 // NewSuite trains models and returns the paper-evaluation suite. Set
 // fast for a reduced (but shape-preserving) campaign.
 func NewSuite(dev Device, seed int64, fast bool) (*Suite, error) {
-	return experiment.NewSuite(experiment.TrainingConfig{SoC: dev, Seed: seed, Fast: fast})
+	return NewSuiteOpts(SuiteOptions{Device: dev, Seed: seed, Fast: fast})
+}
+
+// SuiteOptions configures NewSuiteOpts.
+type SuiteOptions struct {
+	Device Device
+	Seed   int64
+	// Fast shrinks the training grid; Tiny shrinks it further (wins
+	// over Fast) for benchmarks that build several suites per process.
+	Fast bool
+	Tiny bool
+	// Workers bounds the measurement fan-out for both the training
+	// campaign and the suite's exhibit prefetching (0 = one worker per
+	// CPU or the DORA_WORKERS override, 1 = serial). Any width yields
+	// bit-identical observations, models, and figures.
+	Workers int
+	// Cache, when set, persists every measurement (campaign cells,
+	// static-fit parameters, exhibit runs) across processes.
+	Cache *RunCache
+}
+
+// NewSuiteOpts trains models and returns the paper-evaluation suite
+// with explicit parallelism and caching control.
+func NewSuiteOpts(opts SuiteOptions) (*Suite, error) {
+	return experiment.NewSuite(experiment.TrainingConfig{
+		SoC:     opts.Device,
+		Seed:    opts.Seed,
+		Fast:    opts.Fast,
+		Tiny:    opts.Tiny,
+		Workers: opts.Workers,
+		Cache:   opts.Cache,
+	})
 }

@@ -8,6 +8,8 @@ import (
 
 	"dora/internal/asciichart"
 	"dora/internal/corun"
+	"dora/internal/pool"
+	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/stats"
 	"dora/internal/tablefmt"
@@ -31,14 +33,21 @@ type Fig1Result struct {
 // Fig1 runs the Figure 1 characterization.
 func (s *Suite) Fig1() (*Fig1Result, error) {
 	res := &Fig1Result{Page: "Reddit"}
+	var wanted []RunOptions
 	for _, opp := range s.SoC.OPPs.PaperSubset() {
 		for _, in := range []corun.Intensity{corun.None, corun.Low, corun.Medium, corun.High} {
-			r, err := s.Run(RunOptions{Page: res.Page, Intensity: in, FixedMHz: opp.FreqMHz, Governor: "fixed"})
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig1Row{FreqMHz: opp.FreqMHz, Intensity: in, LoadTime: r.LoadTime})
+			wanted = append(wanted, RunOptions{Page: res.Page, Intensity: in, FixedMHz: opp.FreqMHz, Governor: "fixed"})
 		}
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
+	for _, o := range wanted {
+		r, err := s.Run(o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig1Row{FreqMHz: o.FixedMHz, Intensity: o.Intensity, LoadTime: r.LoadTime})
 	}
 	return res, nil
 }
@@ -96,6 +105,16 @@ func (s *Suite) Fig2() (*Fig2Result, error) {
 	const freq = 2265
 	pages := []string{"Aliexpress", "Hao123", "ESPN", "Imgur"}
 	res := &Fig2Result{}
+	var wanted []RunOptions
+	for pi, page := range pages {
+		wanted = append(wanted, RunOptions{Page: page, Intensity: corun.None, FixedMHz: freq, Governor: "fixed"})
+		for _, in := range []corun.Intensity{corun.Low, corun.Medium, corun.High} {
+			wanted = append(wanted, RunOptions{Page: page, Intensity: in, KernelIdx: pi, FixedMHz: freq, Governor: "fixed"})
+		}
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for pi, page := range pages {
 		// E_B: browser alone at the same frequency.
 		alone, err := s.Run(RunOptions{Page: page, Intensity: corun.None, FixedMHz: freq, Governor: "fixed"})
@@ -119,11 +138,7 @@ func (s *Suite) Fig2() (*Fig2Result, error) {
 			// frequency, to execute the instructions it actually
 			// executed during the co-run — minus the device baseline,
 			// which is already accounted inside E_B.
-			kernelEnergy, kernelTime, err := sim.RunKernelInstructions(sim.Options{
-				SoC:      s.SoC,
-				Governor: fixedGov(opp),
-				Seed:     s.Seed + int64(pi),
-			}, k, co.CoRunInstructions)
+			kernelEnergy, kernelTime, err := s.kernelReplayEnergy(k, opp, s.Seed+int64(pi), co.CoRunInstructions)
 			if err != nil {
 				return nil, err
 			}
@@ -187,6 +202,15 @@ type Fig3Result struct {
 // Fig3 runs the sweeps with a medium-intensity co-runner.
 func (s *Suite) Fig3() (*Fig3Result, error) {
 	res := &Fig3Result{}
+	var wanted []RunOptions
+	for _, page := range []string{"ESPN", "MSN"} {
+		for _, opp := range s.SoC.OPPs.PaperSubset() {
+			wanted = append(wanted, RunOptions{Page: page, Intensity: corun.Medium, KernelIdx: 1, FixedMHz: opp.FreqMHz, Governor: "fixed"})
+		}
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for _, page := range []string{"ESPN", "MSN"} {
 		sw := Fig3Sweep{Page: page}
 		for _, opp := range s.SoC.OPPs.PaperSubset() {
@@ -277,6 +301,13 @@ type TableIIIResult struct {
 // TableIII runs the classification.
 func (s *Suite) TableIII() (*TableIIIResult, error) {
 	res := &TableIIIResult{}
+	var wanted []RunOptions
+	for _, spec := range webgen.Specs() {
+		wanted = append(wanted, RunOptions{Page: spec.Name, Intensity: corun.None, FixedMHz: 2265, Governor: "fixed"})
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for _, spec := range webgen.Specs() {
 		r, err := s.Run(RunOptions{Page: spec.Name, Intensity: corun.None, FixedMHz: 2265, Governor: "fixed"})
 		if err != nil {
@@ -294,11 +325,17 @@ func (s *Suite) TableIII() (*TableIIIResult, error) {
 			Match:    class == spec.Class.String(),
 		})
 	}
-	for _, k := range corun.Kernels() {
-		mpki, err := s.kernelMPKI(k)
-		if err != nil {
-			return nil, err
-		}
+	kernels := corun.Kernels()
+	mpkis := make([]float64, len(kernels))
+	if err := pool.Run(len(kernels), s.Workers, func(i int) error {
+		v, err := s.kernelMPKI(kernels[i])
+		mpkis[i] = v
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ki, k := range kernels {
+		mpki := mpkis[ki]
 		class := "low"
 		switch {
 		case mpki > 7:
@@ -390,6 +427,13 @@ func (s *Suite) Fig6() (*Fig6Result, error) {
 	}
 	byFreq := map[int]meas{}
 	var ladder []int
+	var wanted []RunOptions
+	for _, opp := range s.SoC.OPPs.PaperSubset() {
+		wanted = append(wanted, RunOptions{Page: "Youtube", Intensity: corun.High, FixedMHz: opp.FreqMHz, Governor: "fixed"})
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for _, opp := range s.SoC.OPPs.PaperSubset() {
 		r, err := s.Run(RunOptions{Page: "Youtube", Intensity: corun.High, FixedMHz: opp.FreqMHz, Governor: "fixed"})
 		if err != nil {
@@ -462,24 +506,65 @@ func (r *Fig6Result) Table() string {
 }
 
 // kernelMPKI measures a kernel's solo L2 MPKI at max frequency.
+// Memoized per kernel name with the same singleflight discipline as
+// Run: the old check-then-store pattern let two concurrent callers both
+// simulate the kernel, so duplicates now wait on the first flight.
 func (s *Suite) kernelMPKI(k corun.Kernel) (float64, error) {
-	opp, err := s.SoC.OPPs.ByFreq(2265)
-	if err != nil {
-		return 0, err
-	}
-	key := "kmpki|" + k.Name
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
+	if r, ok := s.kcache[k.Name]; ok {
 		s.mu.Unlock()
 		return r.AvgCoRunMPKI, nil
 	}
+	if fl, ok := s.kflight[k.Name]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.r.AvgCoRunMPKI, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	if s.kflight == nil {
+		s.kflight = map[string]*flight{}
+	}
+	s.kflight[k.Name] = fl
 	s.mu.Unlock()
-	m, err := newKernelMachine(s, opp, k)
+
+	m, err := s.measureKernel(k)
+	fl.r, fl.err = m, err
+	s.mu.Lock()
+	delete(s.kflight, k.Name)
+	if err == nil {
+		if s.kcache == nil {
+			s.kcache = map[string]sim.Result{}
+		}
+		s.kcache[k.Name] = m
+	}
+	s.mu.Unlock()
+	close(fl.done)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	s.cache[key] = m
-	s.mu.Unlock()
 	return m.AvgCoRunMPKI, nil
+}
+
+// measureKernel runs the solo-kernel characterization, consulting the
+// persistent run cache first.
+func (s *Suite) measureKernel(k corun.Kernel) (sim.Result, error) {
+	opp, err := s.SoC.OPPs.ByFreq(2265)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var key string
+	if s.RunCache != nil {
+		key = runcache.Key("kernel-mpki", s.fingerprint(), s.Seed, k.Name)
+		var r sim.Result
+		if s.RunCache.Get(key, &r) {
+			s.Metrics.Counter("dora_suite_runcache_hits_total", "measurements served from the persistent run cache").Inc()
+			return r, nil
+		}
+	}
+	m, err := newKernelMachine(s, opp, k)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.RunCache.Put(key, m)
+	return m, nil
 }

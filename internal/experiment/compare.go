@@ -27,6 +27,18 @@ type ComboResult struct {
 // and normalizes PPW to interactive. Results are memoized per suite.
 func (s *Suite) Matrix(governors []string) (map[string][]ComboResult, error) {
 	combos := Combos()
+	var wanted []RunOptions
+	for _, c := range combos {
+		wanted = append(wanted, RunOptions{Page: c.Page, Intensity: c.Intensity, KernelIdx: KernelIdxFor(c), Governor: "interactive"})
+		for _, gov := range governors {
+			if gov != "interactive" {
+				wanted = append(wanted, RunOptions{Page: c.Page, Intensity: c.Intensity, KernelIdx: KernelIdxFor(c), Governor: gov})
+			}
+		}
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	base := make([]sim.Result, len(combos))
 	for i, c := range combos {
 		r, err := s.Run(RunOptions{Page: c.Page, Intensity: c.Intensity, KernelIdx: KernelIdxFor(c), Governor: "interactive"})
@@ -218,6 +230,18 @@ type Fig9Result struct {
 func (s *Suite) Fig9() (*Fig9Result, error) {
 	govs := []string{"performance", "DL", "EE", "DORA"}
 	res := &Fig9Result{Cells: map[string]map[corun.Intensity][]Fig9Cell{}}
+	var wanted []RunOptions
+	for _, page := range []string{"Amazon", "IMDB"} {
+		for _, in := range []corun.Intensity{corun.Low, corun.Medium, corun.High} {
+			wanted = append(wanted, RunOptions{Page: page, Intensity: in, Governor: "interactive"})
+			for _, gov := range govs {
+				wanted = append(wanted, RunOptions{Page: page, Intensity: in, Governor: gov})
+			}
+		}
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for _, page := range []string{"Amazon", "IMDB"} {
 		res.Cells[page] = map[corun.Intensity][]Fig9Cell{}
 		for _, in := range []corun.Intensity{corun.Low, corun.Medium, corun.High} {
@@ -290,6 +314,18 @@ func (s *Suite) Fig10() (*Fig10Result, error) {
 	const page = "Amazon"
 	const hot = 56.0
 	warm := 3 * time.Second // let temperature develop
+	wanted := []RunOptions{
+		{Page: page, Intensity: corun.Medium, Governor: "DORA", Warmup: warm, StartTempC: hot},
+		{Page: page, Intensity: corun.Medium, Governor: "DORA_no_lkg", Warmup: warm, StartTempC: hot},
+	}
+	for _, opp := range s.SoC.OPPs.PaperSubset() {
+		wanted = append(wanted,
+			RunOptions{Page: page, Intensity: corun.Medium, FixedMHz: opp.FreqMHz, Governor: "fixed", Warmup: warm, StartTempC: hot},
+			RunOptions{Page: page, Intensity: corun.Medium, FixedMHz: opp.FreqMHz, Governor: "fixed", AmbientC: 10, Warmup: warm})
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	dora, err := s.Run(RunOptions{Page: page, Intensity: corun.Medium, Governor: "DORA", Warmup: warm, StartTempC: hot})
 	if err != nil {
 		return nil, err
@@ -357,6 +393,13 @@ type Fig11Result struct {
 // Fig11 runs the deadline sweep.
 func (s *Suite) Fig11() (*Fig11Result, error) {
 	res := &Fig11Result{}
+	wanted := []RunOptions{{Page: "MSN", Intensity: corun.High, Governor: "DORA", Deadline: 100 * time.Second}}
+	for d := 1; d <= 10; d++ {
+		wanted = append(wanted, RunOptions{Page: "MSN", Intensity: corun.High, Governor: "DORA", Deadline: time.Duration(d) * time.Second})
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	// f_E for this workload: DORA's choice under an effectively
 	// unconstrained deadline.
 	relaxed, err := s.doraModalFreq("MSN", corun.High, 100*time.Second)
@@ -495,6 +538,13 @@ func (s *Suite) Overhead() (*OverheadResult, error) {
 	var totalSwitches int
 	var totalSwitchTime, totalLoadTime time.Duration
 	combos := Combos()
+	var wanted []RunOptions
+	for _, c := range combos {
+		wanted = append(wanted, RunOptions{Page: c.Page, Intensity: c.Intensity, KernelIdx: KernelIdxFor(c), Governor: "DORA"})
+	}
+	if err := s.Prefetch(wanted); err != nil {
+		return nil, err
+	}
 	for _, c := range combos {
 		r, err := s.Run(RunOptions{Page: c.Page, Intensity: c.Intensity, KernelIdx: KernelIdxFor(c), Governor: "DORA"})
 		if err != nil {

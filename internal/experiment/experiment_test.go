@@ -1,14 +1,18 @@
 package experiment
 
 import (
+	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"dora/internal/corun"
+	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
+	"dora/internal/telemetry"
 	"dora/internal/train"
 )
 
@@ -49,7 +53,7 @@ func tinySuite(t *testing.T) *Suite {
 			SoC: cfg, Models: models, Static: static,
 			TrainReport: rep, HoldoutReport: rep,
 			Observations: obs, Seed: 3,
-			cache: map[string]sim.Result{},
+			cache: map[RunOptions]sim.Result{},
 		}
 	})
 	if tinyErr != nil {
@@ -357,5 +361,104 @@ func TestOverheadSmall(t *testing.T) {
 	}
 	if !strings.Contains(ov.Table(), "Algorithm 1") {
 		t.Error("overhead table rendering wrong")
+	}
+}
+
+// cloneSuite shares a trained suite's models but gives the copy its own
+// memo cache, worker width, run cache and metrics — for tests that
+// compare measurement strategies on identical models.
+func cloneSuite(s *Suite, workers int, rc *runcache.Cache, m *telemetry.Registry) *Suite {
+	return &Suite{
+		SoC: s.SoC, Models: s.Models, Static: s.Static,
+		TrainReport: s.TrainReport, HoldoutReport: s.HoldoutReport,
+		Observations: s.Observations, Seed: s.Seed,
+		Workers: workers, RunCache: rc, Metrics: m,
+		cache: map[RunOptions]sim.Result{},
+	}
+}
+
+// The tentpole guarantee at the suite layer: exhibits built with a wide
+// worker pool are identical to serially built ones, because each run's
+// seed depends only on its options.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	s := tinySuite(t)
+	serial := cloneSuite(s, 1, nil, nil)
+	par := cloneSuite(s, 8, nil, nil)
+	f11s, err := serial.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11p, err := par.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f11s, f11p) {
+		t.Fatalf("parallel Fig11 differs from serial:\n%+v\n%+v", f11s, f11p)
+	}
+	if !reflect.DeepEqual(serial.cache, par.cache) {
+		t.Fatal("parallel memo cache differs from serial")
+	}
+}
+
+// Prefetch with duplicate options must simulate each distinct option
+// once: duplicates either hit the memo or wait on the in-flight run.
+func TestPrefetchSingleflight(t *testing.T) {
+	s := tinySuite(t)
+	m := telemetry.NewRegistry()
+	c := cloneSuite(s, 4, nil, m)
+	base := RunOptions{Page: "Alipay", Intensity: corun.None, FixedMHz: 2265, Governor: "fixed"}
+	other := RunOptions{Page: "Alipay", Intensity: corun.None, FixedMHz: 1958, Governor: "fixed"}
+	opts := []RunOptions{base, base, other, base, other, base}
+	if err := c.Prefetch(opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("dora_suite_runs_total", "").Value(); got != 2 {
+		t.Fatalf("executed %d simulations for 2 distinct options", got)
+	}
+	if len(c.cache) != 2 {
+		t.Fatalf("memo holds %d entries, want 2", len(c.cache))
+	}
+}
+
+// A warm persistent run cache serves a repeat exhibit without running
+// the simulator at all, and reproduces the cold results exactly.
+func TestSuiteRunCacheWarm(t *testing.T) {
+	s := tinySuite(t)
+	path := filepath.Join(t.TempDir(), "runs.json")
+	cold, err := runcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSuite := cloneSuite(s, 2, cold, telemetry.NewRegistry())
+	f11cold, err := coldSuite.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stores := cold.Stats(); stores == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+	if err := cold.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := runcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewRegistry()
+	warmSuite := cloneSuite(s, 2, warm, m)
+	f11warm, err := warmSuite.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f11cold, f11warm) {
+		t.Fatal("warm-cache Fig11 differs from cold run")
+	}
+	if got := m.Counter("dora_suite_runs_total", "").Value(); got != 0 {
+		t.Fatalf("warm run executed %d simulations, want 0", got)
+	}
+	hits := m.Counter("dora_suite_runcache_hits_total", "").Value()
+	if _, _, coldStores := cold.Stats(); hits != coldStores {
+		t.Fatalf("runcache hits %d != cold stores %d — some runs were re-simulated", hits, coldStores)
 	}
 }

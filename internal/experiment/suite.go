@@ -19,6 +19,8 @@ import (
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/governor"
+	"dora/internal/pool"
+	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/telemetry"
@@ -48,8 +50,35 @@ type Suite struct {
 	// cache hits) alongside the per-run simulation metrics.
 	Metrics *telemetry.Registry
 
-	mu    sync.Mutex
-	cache map[string]sim.Result
+	// Workers bounds Prefetch fan-out (0 = pool.DefaultSize()).
+	Workers int
+	// RunCache, when set, persists run results across processes; a warm
+	// cache serves repeat runs without touching the simulator.
+	RunCache *runcache.Cache
+
+	mu       sync.Mutex
+	cache    map[RunOptions]sim.Result
+	inflight map[RunOptions]*flight
+	kcache   map[string]sim.Result
+	kflight  map[string]*flight
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// flight is one in-progress measurement that duplicate concurrent
+// requests wait on instead of re-running the simulator.
+type flight struct {
+	done chan struct{}
+	r    sim.Result
+	err  error
+}
+
+// fingerprint lazily hashes the suite's device configuration for
+// persistent cache keys.
+func (s *Suite) fingerprint() string {
+	s.fpOnce.Do(func() { s.fp = sim.ConfigFingerprint(s.SoC) })
+	return s.fp
 }
 
 // TrainingConfig controls how the suite's models are produced.
@@ -60,12 +89,27 @@ type TrainingConfig struct {
 	// tests; figures built from a Fast suite keep their shape but not
 	// their full resolution.
 	Fast bool
+	// Tiny shrinks the grid further still (4 pages, 3 intensities) —
+	// for benchmarks that must build several suites per process. Wins
+	// over Fast.
+	Tiny bool
+	// Workers bounds the campaign fan-out and the suite's Prefetch
+	// width (0 = pool.DefaultSize(), 1 = serial).
+	Workers int
+	// Cache, when set, persists both campaign cells and suite run
+	// results across processes.
+	Cache *runcache.Cache
 }
 
 // NewSuite runs the training pipeline and returns a ready suite.
 func NewSuite(cfg TrainingConfig) (*Suite, error) {
-	tc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed}
-	if cfg.Fast {
+	tc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed, Workers: cfg.Workers, Cache: cfg.Cache}
+	switch {
+	case cfg.Tiny:
+		tc.Pages = []string{"Alipay", "Reddit", "MSN", "Hao123"}
+		tc.Intensities = []corun.Intensity{corun.None, corun.Low, corun.High}
+		tc.FreqsMHz = []int{652, 729, 960, 1190, 1497, 1728, 1958, 2265}
+	case cfg.Fast:
 		tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
 		tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
 	}
@@ -73,7 +117,7 @@ func NewSuite(cfg TrainingConfig) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: campaign: %w", err)
 	}
-	static, err := train.FitStatic(train.Config{SoC: cfg.SoC, Seed: cfg.Seed})
+	static, err := train.FitStatic(train.Config{SoC: cfg.SoC, Seed: cfg.Seed, Workers: cfg.Workers, Cache: cfg.Cache})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: static fit: %w", err)
 	}
@@ -88,14 +132,18 @@ func NewSuite(cfg TrainingConfig) (*Suite, error) {
 		TrainReport:  rep,
 		Observations: obs,
 		Seed:         cfg.Seed,
-		cache:        map[string]sim.Result{},
+		Workers:      cfg.Workers,
+		RunCache:     cfg.Cache,
+		cache:        map[RunOptions]sim.Result{},
 	}
 	// Holdout (Webpage-Neutral) accuracy: measure the 4 held-out pages
 	// and evaluate the trained models on them.
-	hc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed + 10_000, Pages: webgen.HoldoutNames()}
-	if cfg.Fast {
+	hc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed + 10_000, Pages: webgen.HoldoutNames(),
+		Workers: cfg.Workers, Cache: cfg.Cache}
+	if cfg.Tiny || cfg.Fast {
 		hc.Pages = hc.Pages[:2]
 		hc.FreqsMHz = tc.FreqsMHz
+		hc.Intensities = tc.Intensities
 	}
 	hobs, err := train.Campaign(hc)
 	if err != nil {
@@ -155,19 +203,58 @@ type RunOptions struct {
 }
 
 // Run executes (or returns the cached) measurement for the options.
+// The normalized RunOptions value itself is the memo key, so the cache
+// never aliases two distinct option sets. Concurrent calls with equal
+// options are deduplicated: one runs the simulator, the rest wait on
+// its flight — which is what makes naive Prefetch lists (that may
+// repeat an option) cost one simulation per distinct option.
 func (s *Suite) Run(o RunOptions) (sim.Result, error) {
 	if o.Deadline == 0 {
 		o.Deadline = Deadline
 	}
-	key := fmt.Sprintf("%s|%v|%d|%s|%d|%v|%v|%v|%v", o.Page, o.Intensity, o.KernelIdx, o.Governor, o.FixedMHz, o.Deadline, o.AmbientC, o.StartTempC, o.Warmup)
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
+	if r, ok := s.cache[o]; ok {
 		s.mu.Unlock()
 		s.Metrics.Counter("dora_suite_cache_hits_total", "memoized measurements served from cache").Inc()
 		return r, nil
 	}
+	if fl, ok := s.inflight[o]; ok {
+		s.mu.Unlock()
+		s.Metrics.Counter("dora_suite_inflight_dedup_total", "duplicate concurrent measurements coalesced").Inc()
+		<-fl.done
+		return fl.r, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = map[RunOptions]*flight{}
+	}
+	s.inflight[o] = fl
 	s.mu.Unlock()
 
+	r, err := s.measure(o)
+	fl.r, fl.err = r, err
+	s.mu.Lock()
+	delete(s.inflight, o)
+	if err == nil {
+		s.cache[o] = r
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return r, err
+}
+
+// measure performs the actual measurement for normalized options,
+// consulting the persistent run cache first.
+func (s *Suite) measure(o RunOptions) (sim.Result, error) {
+	var key string
+	if s.RunCache != nil {
+		key = runcache.Key("suite-run", s.fingerprint(), s.Seed, o)
+		var r sim.Result
+		if s.RunCache.Get(key, &r) {
+			s.Metrics.Counter("dora_suite_runcache_hits_total", "measurements served from the persistent run cache").Inc()
+			return r, nil
+		}
+	}
 	spec, err := webgen.ByName(o.Page)
 	if err != nil {
 		return sim.Result{}, err
@@ -214,10 +301,20 @@ func (s *Suite) Run(o RunOptions) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
+	s.RunCache.Put(key, r)
 	return r, nil
+}
+
+// Prefetch measures the given options concurrently, bounded by
+// s.Workers, so the serial per-figure loops that follow are pure memo
+// lookups. Duplicate options cost one simulation (singleflight). The
+// per-run seed depends only on the options, so a prefetched matrix is
+// bit-identical to one built serially.
+func (s *Suite) Prefetch(opts []RunOptions) error {
+	return pool.Run(len(opts), s.Workers, func(i int) error {
+		_, err := s.Run(opts[i])
+		return err
+	})
 }
 
 // WorkloadCombo is one of the 54 evaluated combinations.

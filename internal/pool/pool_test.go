@@ -1,0 +1,112 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 17} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			out := make([]int, n)
+			err := Run(n, workers, func(i int) error {
+				out[i] = i + 1
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, v := range out {
+				if v != i+1 {
+					t.Fatalf("workers=%d n=%d: slot %d = %d", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	const n = 64
+	run := func(workers int) []int {
+		out := make([]int, n)
+		if err := Run(n, workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		par := run(w)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	err := Run(16, 4, func(i int) error {
+		switch i {
+		case 3:
+			return wantErr
+		case 9:
+			return errors.New("boom-9")
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want lowest-index error %v", err, wantErr)
+	}
+}
+
+func TestRunStopsSchedulingAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	err := Run(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return fmt.Errorf("fail fast")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := ran.Load(); got == 1000 {
+		t.Fatal("pool kept scheduling every task after a failure")
+	}
+}
+
+func TestDefaultSizeEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "7")
+	if got := DefaultSize(); got != 7 {
+		t.Fatalf("DefaultSize with %s=7 -> %d", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultSize(); got < 1 {
+		t.Fatalf("DefaultSize fallback -> %d", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := DefaultSize(); got < 1 {
+		t.Fatalf("DefaultSize must ignore non-positive override, got %d", got)
+	}
+}
+
+func TestRunWorkersDefault(t *testing.T) {
+	// workers <= 0 must still complete every task.
+	out := make([]bool, 10)
+	if err := Run(10, 0, func(i int) error { out[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if !v {
+			t.Fatalf("slot %d not run", i)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package runcache persists simulation results across process
+// invocations, so repeated dorarepro/doratrain/benchmark runs against
+// an unchanged device configuration skip the simulator entirely.
+//
+// The cache is a single JSON file mapping opaque string keys to raw
+// JSON values. Keys are produced by Key, which hashes the caller's
+// identifying parts (device configuration, run options, seeds)
+// together with SchemaVersion — bumping the version therefore orphans
+// every old entry at once, the same invalidation discipline as
+// train.ObservationFileVersion. A cache whose file carries a different
+// version is loaded empty rather than trusted.
+//
+// A nil *Cache is a valid disabled cache: every method is a no-op, so
+// call sites need no conditionals. All methods are safe for concurrent
+// use by the worker pool.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// SchemaVersion identifies the simulator calibration and result schema
+// the cached entries were produced under. Bump it whenever simulation
+// timing, power calibration, or the cached result types change, so
+// stale measurements are re-simulated rather than silently reused.
+const SchemaVersion = 1
+
+// file is the on-disk format.
+type file struct {
+	Version int                        `json:"version"`
+	Entries map[string]json.RawMessage `json:"entries"`
+}
+
+// Cache is a persistent key -> JSON value store.
+type Cache struct {
+	path string
+
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	dirty   bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stores atomic.Uint64
+}
+
+// Open loads the cache at path. A missing file yields an empty cache;
+// a file with a different SchemaVersion (or unparseable content) is
+// discarded and replaced on the next Save rather than trusted.
+func Open(path string) (*Cache, error) {
+	c := &Cache{path: path, entries: map[string]json.RawMessage{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != SchemaVersion {
+		// Stale or corrupt: start over. dirty marks the file for
+		// rewrite even if no new entries land.
+		c.dirty = true
+		return c, nil
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c, nil
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get unmarshals the entry for key into v and reports whether it was
+// present. A nil cache always misses without counting stats.
+func (c *Cache) Get(key string, v any) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		// Entry incompatible with the requested shape: treat as a miss
+		// so the caller re-simulates and overwrites it.
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores v under key. Marshal failures (e.g. NaN floats) are
+// swallowed: the run simply is not cached.
+func (c *Cache) Put(key string, v any) {
+	if c == nil {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = raw
+	c.dirty = true
+	c.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// Stats returns the lifetime hit/miss/store counts of this handle.
+func (c *Cache) Stats() (hits, misses, stores uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.stores.Load()
+}
+
+// Path returns the backing file path ("" for a nil cache).
+func (c *Cache) Path() string {
+	if c == nil {
+		return ""
+	}
+	return c.path
+}
+
+// Save writes the cache back to its file (atomically, via a temp file
+// and rename). It is a no-op when nothing changed or the cache is nil.
+func (c *Cache) Save() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.Marshal(file{Version: SchemaVersion, Entries: c.entries})
+	if err != nil {
+		return fmt.Errorf("runcache: marshal: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".runcache-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	c.dirty = false
+	return nil
+}
+
+// Key derives a stable cache key from the given parts: each part is
+// JSON-encoded (falling back to Go-syntax formatting for unmarshalable
+// values) and hashed together with SchemaVersion. Two keys are equal
+// iff every part encodes identically, so any field of the device
+// configuration or run options that changes the measurement must be
+// included in the parts.
+func Key(parts ...any) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d", SchemaVersion)
+	for _, p := range parts {
+		h.Write([]byte{0}) // part separator
+		if data, err := json.Marshal(p); err == nil {
+			h.Write(data)
+		} else {
+			fmt.Fprintf(h, "%#v", p)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

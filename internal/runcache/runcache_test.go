@@ -1,0 +1,171 @@
+package runcache
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Value float64
+	Tags  []int
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{Name: "reddit", Value: 1.25, Tags: []int{1, 2, 3}}
+	key := Key("run", want.Name, 1958)
+	var got payload
+	if c.Get(key, &got) {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put(key, want)
+	if !c.Get(key, &got) || got.Name != want.Name || got.Value != want.Value {
+		t.Fatalf("get after put = %+v", got)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("reopened cache has %d entries", c2.Len())
+	}
+	got = payload{}
+	if !c2.Get(key, &got) || got.Tags[2] != 3 {
+		t.Fatalf("reopened get = %+v", got)
+	}
+	hits, misses, stores := c2.Stats()
+	if hits != 1 || misses != 0 || stores != 0 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, stores)
+	}
+}
+
+func TestVersionMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	stale, _ := json.Marshal(file{Version: SchemaVersion + 1, Entries: map[string]json.RawMessage{
+		"k": json.RawMessage(`{"Name":"old"}`),
+	}})
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale-version cache loaded %d entries", c.Len())
+	}
+	// The rewrite (even with no new entries) must install the current
+	// version.
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 {
+		t.Fatal("discarded entries resurrected")
+	}
+}
+
+func TestCorruptFileDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("corrupt cache must load empty")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	var v payload
+	if c.Get("k", &v) {
+		t.Fatal("nil cache must miss")
+	}
+	c.Put("k", payload{})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Path() != "" {
+		t.Fatal("nil cache must be empty")
+	}
+}
+
+func TestPutUnmarshalableValueSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("nan", math.NaN()) // JSON cannot represent NaN
+	if c.Len() != 0 {
+		t.Fatal("NaN value must not be stored")
+	}
+}
+
+func TestKeyStableAndDistinct(t *testing.T) {
+	a := Key("run", "Reddit", 1958, 3.5)
+	b := Key("run", "Reddit", 1958, 3.5)
+	if a != b {
+		t.Fatal("identical parts must hash identically")
+	}
+	if a == Key("run", "Reddit", 1958, 3.6) {
+		t.Fatal("different parts must hash differently")
+	}
+	if a == Key("run", "Reddit", 1958) {
+		t.Fatal("part count must matter")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("part boundaries must matter")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Key("cell", g, i)
+				c.Put(key, payload{Name: "x", Value: float64(i)})
+				var v payload
+				if !c.Get(key, &v) {
+					t.Errorf("lost entry %d/%d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 8*50 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}

@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"dora/internal/runcache"
+	"dora/internal/soc"
+)
+
+// ConfigFingerprint returns a stable hash identifying a device
+// configuration, for keying persistent run caches: two configurations
+// with the same fingerprint produce identical simulations for the same
+// run options and seed.
+//
+// dvfs.Table keeps its OPP ladder in unexported fields that JSON
+// encoding would silently drop, so the ladder and the switch costs are
+// hashed explicitly alongside the JSON-visible configuration.
+func ConfigFingerprint(cfg soc.Config) string {
+	parts := []any{"soc-config", cfg}
+	if cfg.OPPs != nil {
+		parts = append(parts, cfg.OPPs.All(), cfg.OPPs.SwitchLatency, cfg.OPPs.SwitchEnergyJ)
+	}
+	return runcache.Key(parts...)
+}

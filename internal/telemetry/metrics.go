@@ -150,27 +150,45 @@ type metric struct {
 // JSON exposition format. Get-or-create accessors make wiring
 // idempotent; a nil *Registry is a no-op registry whose accessors
 // return nil collectors (which are themselves no-ops).
+//
+// After a metric's first registration, accessor calls are lock-free
+// (one sync.Map load), so hot simulation loops that re-resolve a
+// counter by name every iteration do not serialize on a registry
+// mutex. The mutex guards only creation and the registration-order
+// slice used for stable exposition.
 type Registry struct {
-	mu      sync.Mutex
-	byName  map[string]*metric
-	ordered []*metric // registration order, for stable exposition
+	byName sync.Map // string -> *metric, published fully initialized
+
+	mu      sync.Mutex // guards creation and ordered
+	ordered []*metric  // registration order, for stable exposition
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*metric)}
+	return &Registry{}
 }
 
-func (r *Registry) lookup(name string, kind metricKind) *metric {
-	m, ok := r.byName[name]
-	if ok {
-		if m.kind != kind {
-			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
-		}
-		return m
+func checkKind(name string, m *metric, kind metricKind) *metric {
+	if m.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
 	}
-	m = &metric{name: name, kind: kind}
-	r.byName[name] = m
+	return m
+}
+
+// lookup returns the named metric, creating it with create on first
+// use. Metrics are fully initialized before publication, so the
+// lock-free fast path never observes a half-built collector.
+func (r *Registry) lookup(name string, kind metricKind, create func() *metric) *metric {
+	if v, ok := r.byName.Load(name); ok {
+		return checkKind(name, v.(*metric), kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byName.Load(name); ok {
+		return checkKind(name, v.(*metric), kind)
+	}
+	m := create()
+	r.byName.Store(name, m)
 	r.ordered = append(r.ordered, m)
 	return m
 }
@@ -180,14 +198,9 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := r.lookup(name, kindCounter)
-	if m.c == nil {
-		m.c = &Counter{}
-		m.help = help
-	}
-	return m.c
+	return r.lookup(name, kindCounter, func() *metric {
+		return &metric{name: name, help: help, kind: kindCounter, c: &Counter{}}
+	}).c
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -195,14 +208,9 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := r.lookup(name, kindGauge)
-	if m.g == nil {
-		m.g = &Gauge{}
-		m.help = help
-	}
-	return m.g
+	return r.lookup(name, kindGauge, func() *metric {
+		return &metric{name: name, help: help, kind: kindGauge, g: &Gauge{}}
+	}).g
 }
 
 // Histogram returns the named histogram, creating it on first use with
@@ -212,18 +220,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := r.lookup(name, kindHistogram)
-	if m.h == nil {
+	return r.lookup(name, kindHistogram, func() *metric {
 		bounds := append([]float64(nil), buckets...)
 		if !sort.Float64sAreSorted(bounds) {
 			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
 		}
-		m.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-		m.help = help
-	}
-	return m.h
+		return &metric{name: name, help: help, kind: kindHistogram,
+			h: &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}}
+	}).h
 }
 
 func (r *Registry) snapshot() []*metric {

@@ -145,3 +145,35 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Fatalf("histogram count = %d", got)
 	}
 }
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	// Distinct names registered from many goroutines must each appear
+	// exactly once in the exposition, exercising the create slow path
+	// racing the lock-free read path.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	names := []string{"a_total", "b_total", "c_total", "d_total"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter(names[j%len(names)], "help").Inc()
+				r.Gauge("g", "").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if got := strings.Count(b.String(), "# TYPE "+name+" counter"); got != 1 {
+			t.Fatalf("metric %s exposed %d times", name, got)
+		}
+		if r.Counter(name, "").Value() != 8*200/uint64(len(names)) {
+			t.Fatalf("metric %s lost increments: %d", name, r.Counter(name, "").Value())
+		}
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"dora/internal/dvfs"
 	"dora/internal/governor"
 	"dora/internal/nlfit"
+	"dora/internal/pool"
 	"dora/internal/regress"
+	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/stats"
@@ -55,6 +57,14 @@ type Config struct {
 	Seed     int64
 	// Warmup shortens the per-run lead-in for campaign speed.
 	Warmup time.Duration
+	// Workers bounds the measurement fan-out (0 = pool.DefaultSize(),
+	// 1 = serial). Any width produces bit-identical observations: each
+	// grid cell's seed derives from its (page, kernel, frequency)
+	// position, never from execution order.
+	Workers int
+	// Cache, when set, serves previously measured cells from the
+	// persistent run cache and records fresh measurements into it.
+	Cache *runcache.Cache
 }
 
 func (c *Config) fillDefaults() {
@@ -76,21 +86,32 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Campaign runs the fixed-frequency measurement sweep and returns the
-// labelled observations (pages x intensities x frequencies).
-func Campaign(cfg Config) ([]Observation, error) {
-	cfg.fillDefaults()
-	if cfg.SoC.OPPs == nil {
-		return nil, errors.New("train: missing OPP table")
-	}
-	var out []Observation
-	runIdx := 0
-	for pi, page := range cfg.Pages {
+// gridCell is one (page, intensity, frequency) combination of the
+// measurement grid, with its identity-derived seed precomputed so the
+// cell measures identically regardless of which worker runs it when.
+type gridCell struct {
+	page      string
+	spec      webgen.Spec
+	intensity corun.Intensity
+	kname     string
+	kernel    *corun.Kernel
+	opp       dvfs.OPP
+	seed      int64
+}
+
+// grid enumerates the campaign cells in the canonical page-major,
+// intensity-middle, frequency-minor order. Each cell's seed is
+// Seed + 1 + its flat index — exactly the numbering the serial loop
+// used, so campaigns are byte-identical across pool widths and to
+// observation files recorded before the pool existed.
+func (c Config) grid() ([]gridCell, error) {
+	var cells []gridCell
+	for pi, page := range c.Pages {
 		spec, err := webgen.ByName(page)
 		if err != nil {
 			return nil, err
 		}
-		for _, in := range cfg.Intensities {
+		for _, in := range c.Intensities {
 			var kptr *corun.Kernel
 			kname := "none"
 			if in != corun.None {
@@ -100,40 +121,97 @@ func Campaign(cfg Config) ([]Observation, error) {
 				}
 				kptr, kname = &k, k.Name
 			}
-			for _, f := range cfg.FreqsMHz {
-				opp, err := cfg.SoC.OPPs.ByFreq(f)
+			for _, f := range c.FreqsMHz {
+				opp, err := c.SoC.OPPs.ByFreq(f)
 				if err != nil {
 					return nil, err
 				}
-				runIdx++
-				r, err := sim.LoadPage(sim.Options{
-					SoC:      cfg.SoC,
-					Governor: governor.NewFixed(opp),
-					Seed:     cfg.Seed + int64(runIdx),
-					Warmup:   cfg.Warmup,
-				}, sim.Workload{Page: spec, CoRun: kptr})
-				if err != nil {
-					return nil, fmt.Errorf("train: %s+%s@%d: %w", page, kname, f, err)
-				}
-				x, err := core.InputVector(r.Features.Vector(), r.AvgCoRunMPKI, opp, r.AvgCoRunUtil)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Observation{
-					Page:      page,
-					Kernel:    kname,
-					Intensity: in,
-					FreqMHz:   f,
-					BusMHz:    opp.BusFreqMHz,
-					VoltV:     opp.VoltageV,
-					X:         x,
-					LoadTimeS: r.LoadTime.Seconds(),
-					PowerW:    r.AvgPowerW,
-					AvgTempC:  r.AvgSoCTempC,
-					Met3s:     r.DeadlineMet,
+				cells = append(cells, gridCell{
+					page:      page,
+					spec:      spec,
+					intensity: in,
+					kname:     kname,
+					kernel:    kptr,
+					opp:       opp,
+					seed:      c.Seed + int64(len(cells)) + 1,
 				})
 			}
 		}
+	}
+	return cells, nil
+}
+
+// measureCell simulates one grid cell and labels the result.
+func measureCell(cfg Config, c gridCell) (Observation, error) {
+	r, err := sim.LoadPage(sim.Options{
+		SoC:      cfg.SoC,
+		Governor: governor.NewFixed(c.opp),
+		Seed:     c.seed,
+		Warmup:   cfg.Warmup,
+	}, sim.Workload{Page: c.spec, CoRun: c.kernel})
+	if err != nil {
+		return Observation{}, fmt.Errorf("train: %s+%s@%d: %w", c.page, c.kname, c.opp.FreqMHz, err)
+	}
+	x, err := core.InputVector(r.Features.Vector(), r.AvgCoRunMPKI, c.opp, r.AvgCoRunUtil)
+	if err != nil {
+		return Observation{}, err
+	}
+	return Observation{
+		Page:      c.page,
+		Kernel:    c.kname,
+		Intensity: c.intensity,
+		FreqMHz:   c.opp.FreqMHz,
+		BusMHz:    c.opp.BusFreqMHz,
+		VoltV:     c.opp.VoltageV,
+		X:         x,
+		LoadTimeS: r.LoadTime.Seconds(),
+		PowerW:    r.AvgPowerW,
+		AvgTempC:  r.AvgSoCTempC,
+		Met3s:     r.DeadlineMet,
+	}, nil
+}
+
+// Campaign runs the fixed-frequency measurement sweep and returns the
+// labelled observations (pages x intensities x frequencies). Cells are
+// measured by cfg.Workers concurrent workers; per-cell seeds are
+// derived from grid position, so the output is identical at any width.
+func Campaign(cfg Config) ([]Observation, error) {
+	cfg.fillDefaults()
+	if cfg.SoC.OPPs == nil {
+		return nil, errors.New("train: missing OPP table")
+	}
+	cells, err := cfg.grid()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	var fp string
+	if cfg.Cache != nil {
+		fp = sim.ConfigFingerprint(cfg.SoC)
+	}
+	out := make([]Observation, len(cells))
+	err = pool.Run(len(cells), cfg.Workers, func(i int) error {
+		c := cells[i]
+		var key string
+		if cfg.Cache != nil {
+			key = runcache.Key("train-observation", ObservationFileVersion, fp,
+				c.page, c.kname, c.opp.FreqMHz, c.seed, cfg.Warmup)
+			if cfg.Cache.Get(key, &out[i]) {
+				return nil
+			}
+		}
+		obs, err := measureCell(cfg, c)
+		if err != nil {
+			return err
+		}
+		out[i] = obs
+		cfg.Cache.Put(key, obs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -144,27 +222,51 @@ func Campaign(cfg Config) ([]Observation, error) {
 // is running, so everything measured is leakage + fixed components.
 func FitStatic(cfg Config) (core.StaticPower, error) {
 	cfg.fillDefaults()
-	type sample struct {
-		v, t, p float64
+	var key string
+	if cfg.Cache != nil {
+		// The idle sweep and fit are fully determined by the device
+		// configuration, the frequency list and the seed, so the fitted
+		// parameters can be cached whole.
+		key = runcache.Key("static-power", ObservationFileVersion,
+			sim.ConfigFingerprint(cfg.SoC), cfg.FreqsMHz, cfg.Seed)
+		var cached core.StaticPower
+		if cfg.Cache.Get(key, &cached) {
+			return cached, nil
+		}
 	}
-	var samples []sample
+	type idleCell struct {
+		opp  dvfs.OPP
+		temp float64
+	}
+	var cells []idleCell
 	for _, f := range cfg.FreqsMHz {
 		opp, err := cfg.SoC.OPPs.ByFreq(f)
 		if err != nil {
 			return core.StaticPower{}, err
 		}
 		for _, temp := range []float64{25, 35, 45, 55, 65} {
-			m, err := soc.New(cfg.SoC, cfg.Seed)
-			if err != nil {
-				return core.StaticPower{}, err
-			}
-			m.SetOPP(opp)
-			m.Prewarm(temp)
-			// A few slices to settle the meters; idle cores burn no
-			// dynamic power, so LastPower is the static component.
-			m.Step(5 * time.Millisecond)
-			samples = append(samples, sample{opp.VoltageV, m.SoCTemp(), m.LastPower().Total()})
+			cells = append(cells, idleCell{opp, temp})
 		}
+	}
+	type sample struct {
+		v, t, p float64
+	}
+	samples := make([]sample, len(cells))
+	if err := pool.Run(len(cells), cfg.Workers, func(i int) error {
+		cell := cells[i]
+		m, err := soc.New(cfg.SoC, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		m.SetOPP(cell.opp)
+		m.Prewarm(cell.temp)
+		// A few slices to settle the meters; idle cores burn no
+		// dynamic power, so LastPower is the static component.
+		m.Step(5 * time.Millisecond)
+		samples[i] = sample{cell.opp.VoltageV, m.SoCTemp(), m.LastPower().Total()}
+		return nil
+	}); err != nil {
+		return core.StaticPower{}, err
 	}
 	// params = [k1, alpha, beta, k2, gamma, delta, const]
 	model := func(p, x []float64) float64 {
@@ -185,7 +287,9 @@ func FitStatic(cfg Config) (core.StaticPower, error) {
 	if err != nil {
 		return core.StaticPower{}, err
 	}
-	return core.StaticPower{Params: res.X[:6], ConstW: res.X[6]}, nil
+	sp := core.StaticPower{Params: res.X[:6], ConstW: res.X[6]}
+	cfg.Cache.Put(key, sp)
+	return sp, nil
 }
 
 // Report summarizes a training run.

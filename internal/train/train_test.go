@@ -2,12 +2,15 @@ package train
 
 import (
 	"math"
+	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/power"
+	"dora/internal/runcache"
 	"dora/internal/soc"
 	"dora/internal/stats"
 	"dora/internal/webgen"
@@ -205,6 +208,122 @@ func TestShuffleDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds should permute differently")
+	}
+}
+
+// tinyCfg is an 8-cell grid for tests that must run the campaign more
+// than once.
+func tinyCfg() Config {
+	return Config{
+		SoC:         soc.NexusFive(),
+		Pages:       []string{"Alipay", "Reddit"},
+		Intensities: []corun.Intensity{corun.None, corun.High},
+		FreqsMHz:    []int{960, 2265},
+		Seed:        100,
+	}
+}
+
+// The tentpole guarantee: a campaign fanned out over many workers is
+// byte-identical to the serial sweep, because seeds derive from grid
+// position rather than execution order.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	serialCfg := tinyCfg()
+	serialCfg.Workers = 1
+	serial, err := Campaign(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := tinyCfg()
+	parCfg.Workers = 8
+	par, err := Campaign(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel campaign differs from serial campaign")
+	}
+}
+
+func TestFitStaticParallelMatchesSerial(t *testing.T) {
+	serialCfg := tinyCfg()
+	serialCfg.Workers = 1
+	serial, err := FitStatic(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := tinyCfg()
+	parCfg.Workers = 8
+	par, err := FitStatic(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel idle sweep fit differs from serial")
+	}
+}
+
+// A warm run cache must serve every campaign cell and the static fit
+// without touching the simulator, and reproduce the cold results
+// exactly — including across a save/reopen cycle.
+func TestCampaignRunCacheWarm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.json")
+	cache, err := runcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCfg()
+	cfg.Cache = cache
+	cold, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStatic, err := FitStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stores := cache.Stats(); stores != uint64(len(cold))+1 {
+		t.Fatalf("cold run stored %d entries, want %d cells + 1 static fit", stores, len(cold)+1)
+	}
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := runcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = warm
+	obs, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := FitStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, stores := warm.Stats()
+	if misses != 0 || stores != 0 {
+		t.Fatalf("warm run missed %d / stored %d — simulator was re-run", misses, stores)
+	}
+	if want := uint64(len(cold)) + 1; hits != want {
+		t.Fatalf("warm run hit %d entries, want %d", hits, want)
+	}
+	if !reflect.DeepEqual(cold, obs) {
+		t.Fatal("cached observations differ from measured ones")
+	}
+	if !reflect.DeepEqual(coldStatic, static) {
+		t.Fatal("cached static fit differs from measured one")
+	}
+
+	// A different seed must not alias into the cached entries.
+	missCfg := tinyCfg()
+	missCfg.Cache = warm
+	missCfg.Seed = 101
+	if _, err := Campaign(missCfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := warm.Stats(); misses == 0 {
+		t.Fatal("seed change must invalidate cached cells")
 	}
 }
 

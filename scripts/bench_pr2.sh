@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_pr2.sh — record the PR 2 performance trajectory.
+#
+# Runs the parallel suite-build benchmark (speedup over a serial build
+# of the same tiny grid at 4 workers) and the telemetry overhead
+# microbenchmarks, then writes the parsed results to BENCH_PR2.json at
+# the repo root (or the path given as $1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running suite-build benchmark (two tiny-grid builds; takes a few minutes)..." >&2
+go test -run '^$' -bench '^BenchmarkSuiteBuildParallel$' -benchtime 1x -timeout 60m . | tee "$raw" >&2
+echo "running telemetry overhead benchmarks..." >&2
+go test -run '^$' -bench '^BenchmarkTelemetry(Disabled|Enabled)$' -benchmem -timeout 20m . | tee -a "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v ncpu="$(go env GOMAXPROCS 2>/dev/null || echo 0)" '
+BEGIN {
+  printf "{\n  \"pr\": 2,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [", date, goversion, ncpu
+}
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+  m = 0
+  for (i = 3; i < NF; i += 2) {
+    if (m++) printf ", "
+    printf "\"%s\": %s", $(i+1), $i
+  }
+  printf "}}"
+}
+END { printf "\n  ]\n}\n" }' "$raw" > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
