@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench-pr2
+.PHONY: build test test-short race bench bench-pr2 bench-pr3
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,12 @@ race:
 # telemetry overhead) into BENCH_PR2.json.
 bench-pr2:
 	scripts/bench_pr2.sh
+
+# Record the PR 3 simulation-kernel trajectory (fingerprint check,
+# ns/simulated-ms, allocs/op, speedup vs. seed) into BENCH_PR3.json.
+bench-pr3:
+	scripts/bench_pr3.sh
+
+# The current performance record: re-measures the simulation kernel and
+# refreshes BENCH_PR3.json.
+bench: bench-pr3

@@ -18,7 +18,9 @@ import (
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/experiment"
+	"dora/internal/governor"
 	"dora/internal/membus"
+	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/telemetry"
 	"dora/internal/webdoc"
@@ -135,6 +137,109 @@ func BenchmarkComplexitySweep(b *testing.B) {
 }
 
 // --- microbenchmarks of the hot simulator paths ----------------------
+
+// BenchmarkLoadPage is the headline single-run metric: one complete
+// measured page load (warmup, governor, browser threads, co-runner)
+// per iteration. The ns/sim-ms metric is wall-clock nanoseconds per
+// simulated millisecond — the number scripts/bench_pr3.sh tracks
+// across PRs.
+func BenchmarkLoadPage(b *testing.B) {
+	k, err := corun.ByName("backprop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := webgen.ByName("Reddit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sim.Options{
+		SoC:      soc.NexusFive(),
+		Governor: governor.NewInteractive(governor.DefaultInteractiveConfig()),
+		Warmup:   500 * time.Millisecond, // the default, explicit so simNs accounting matches
+		Seed:     1,
+	}
+	var simNs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.LoadPage(opts, sim.Workload{Page: spec, CoRun: &k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simNs += int64(res.LoadTime) + int64(opts.Warmup)
+	}
+	if simNs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(simNs)/1e6), "ns/sim-ms")
+	}
+}
+
+// BenchmarkQuantumLoop measures the steady-state quantum loop alone:
+// one simulated millisecond per op on a machine with browser-like
+// loads on two cores and a memory-heavy co-runner, no telemetry.
+// This path must stay at 0 allocs/op (TestQuantumLoopAllocs enforces
+// it); machine construction and source attachment are untimed.
+func BenchmarkQuantumLoop(b *testing.B) {
+	m := quantumLoopMachine(b, 1)
+	m.Step(10 * time.Millisecond) // reach steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(time.Millisecond)
+	}
+}
+
+// quantumLoopMachine builds the machine BenchmarkQuantumLoop and the
+// allocation guard share: browser-like kernels on cores 0-1, a
+// high-intensity co-runner on core 2.
+func quantumLoopMachine(b testing.TB, seed int64) *soc.Machine {
+	b.Helper()
+	m, err := soc.New(soc.NexusFive(), seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	low, err := corun.Representative(corun.Low)
+	if err != nil {
+		b.Fatal(err)
+	}
+	med, err := corun.Representative(corun.Medium)
+	if err != nil {
+		b.Fatal(err)
+	}
+	high, err := corun.Representative(corun.High)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, k := range []corun.Kernel{low, med, high} {
+		if err := m.AssignSource(i, workload.Loop(k.New(seed+int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkAccessN measures the batched cache entry point against the
+// same access stream BenchmarkCacheAccess feeds one at a time.
+func BenchmarkAccessN(b *testing.B) {
+	c, err := cache.New(cache.Config{
+		Name: "l2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 16,
+		MaxOwners: 4, Replacement: cache.RandomRepl,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewRefGen(workload.Segment{
+		FootprintBytes: 8 << 20, Pattern: workload.Random, Base: 0x1000000,
+	}, 1)
+	const blk = 256
+	addrs := make([]uint64, blk)
+	hits := make([]bool, blk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += blk {
+		gen.FillBlock(addrs)
+		c.AccessN(i&3, addrs, hits)
+	}
+}
 
 func BenchmarkCacheAccess(b *testing.B) {
 	c, err := cache.New(cache.Config{

@@ -23,6 +23,7 @@ import (
 	"dora"
 	"dora/internal/asciichart"
 	"dora/internal/core"
+	"dora/internal/profiling"
 	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
@@ -44,8 +45,16 @@ func main() {
 	decisions := flag.String("decisions", "", "write the governor decision log (.csv for CSV, anything else for JSONL)")
 	metrics := flag.String("metrics", "", "write run metrics (.json for JSON, anything else for Prometheus text)")
 	cachePath := flag.String("runcache", "", "persistent run cache file; repeat identical runs are served from it (ignored when trace/decision/metric outputs are requested)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	list := flag.Bool("list", false, "list pages and kernels, then exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("pages:")

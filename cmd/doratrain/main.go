@@ -17,6 +17,7 @@ import (
 
 	"dora"
 	"dora/internal/core"
+	"dora/internal/profiling"
 	"dora/internal/stats"
 	"dora/internal/tablefmt"
 	"dora/internal/train"
@@ -32,7 +33,15 @@ func main() {
 	obsIn := flag.String("from-obs", "", "skip the campaign and fit from a saved observations file")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = one per CPU or $DORA_WORKERS, 1 = serial)")
 	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-measured cells")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	var cache *dora.RunCache
 	if *cachePath != "" {
@@ -47,7 +56,6 @@ func main() {
 	dev := dora.DefaultDevice()
 	var models *core.Models
 	var report dora.TrainReport
-	var err error
 	if *obsIn != "" {
 		fmt.Printf("fitting from saved campaign %s...\n", *obsIn)
 		var obs []train.Observation

@@ -3,10 +3,19 @@
 // shared L2 tracks per-requestor statistics, including lines evicted by
 // a different owner than the one that installed them — the mechanism
 // behind the memory interference the DORA paper manages.
+//
+// The geometry is flat: all ways of all sets live in preallocated
+// parallel arrays (tags, last-use ticks, owners) indexed by
+// set*ways+way, with validity kept as one bitmask word per set. A
+// lookup touches one contiguous tag run instead of chasing a per-set
+// slice header, and the victim scans are monomorphic per replacement
+// policy — the layout the simulator's quantum loop spends most of its
+// time in.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Replacement selects the victim-choice policy.
@@ -43,6 +52,9 @@ func (c Config) Validate() error {
 	if c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
 	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache %q: more than 64 ways", c.Name)
+	}
 	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
 		return fmt.Errorf("cache %q: size %d not divisible by ways*line", c.Name, c.SizeBytes)
 	}
@@ -54,13 +66,6 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache %q: MaxOwners must be positive", c.Name)
 	}
 	return nil
-}
-
-type line struct {
-	tag     uint64
-	owner   int8
-	valid   bool
-	lastUse uint64
 }
 
 // OwnerStats aggregates the per-requestor counters.
@@ -79,10 +84,23 @@ func (s OwnerStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// Cache is a set-associative, LRU-replacement cache model.
+// Cache is a set-associative cache model with flat line storage.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
+	cfg  Config
+	ways int
+
+	// Flat per-line state, indexed set*ways+way. Tags are full line
+	// addresses (set bits redundant but harmless). Splitting the line
+	// fields into parallel arrays keeps the hit scan inside one or two
+	// cache lines of tag words instead of striding over padded structs.
+	tags    []uint64
+	lastUse []uint64
+	owners  []int8
+	// validBits holds one validity bitmask word per set (bit w = way w
+	// valid), so the first-invalid-way scan is one TrailingZeros64.
+	validBits []uint64
+	waysMask  uint64 // low c.ways bits set
+
 	setMask  uint64
 	lineBits uint
 	tick     uint64
@@ -96,14 +114,17 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	nLines := nSets * cfg.Ways
 	c := &Cache{
-		cfg:     cfg,
-		sets:    make([][]line, nSets),
-		setMask: uint64(nSets - 1),
-		stats:   make([]OwnerStats, cfg.MaxOwners),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		cfg:       cfg,
+		ways:      cfg.Ways,
+		tags:      make([]uint64, nLines),
+		lastUse:   make([]uint64, nLines),
+		owners:    make([]int8, nLines),
+		validBits: make([]uint64, nSets),
+		waysMask:  (uint64(1) << uint(cfg.Ways)) - 1,
+		setMask:   uint64(nSets - 1),
+		stats:     make([]OwnerStats, cfg.MaxOwners),
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++
@@ -115,58 +136,79 @@ func New(cfg Config) (*Cache, error) {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Access simulates one reference by owner at addr. It returns true on a
-// hit. On a miss the line is installed, evicting the LRU way; if the
-// victim belonged to a different owner, interference counters are
-// updated on both sides.
+// hit. On a miss the line is installed, evicting the first invalid way,
+// else the policy's victim; if the victim belonged to a different
+// owner, interference counters are updated on both sides.
 func (c *Cache) Access(addr uint64, owner int) bool {
 	if owner < 0 || owner >= c.cfg.MaxOwners {
 		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
 	}
-	c.tick++
+	return c.access(addr, owner, &c.stats[owner])
+}
+
+// AccessN simulates one reference per element of addrs, all by the
+// same owner, writing the per-address hit result into hits[i]. It is
+// exactly equivalent to calling Access(addrs[i], owner) in order —
+// same victims, same statistics, same replacement-policy state — with
+// the per-access call and owner-range overhead hoisted out of the
+// loop. hits must be at least as long as addrs; both are caller-owned
+// scratch, so a quantum's worth of references costs no allocation.
+func (c *Cache) AccessN(owner int, addrs []uint64, hits []bool) {
+	if owner < 0 || owner >= c.cfg.MaxOwners {
+		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
+	}
+	hits = hits[:len(addrs)] // one bounds check up front
 	st := &c.stats[owner]
+	for i, a := range addrs {
+		hits[i] = c.access(a, owner, st)
+	}
+}
+
+// access is the shared per-reference body of Access and AccessN.
+func (c *Cache) access(addr uint64, owner int, st *OwnerStats) bool {
+	c.tick++
 	st.Accesses++
 
 	lineAddr := addr >> c.lineBits
-	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	setIdx := lineAddr & c.setMask
+	base := int(setIdx) * c.ways
+	tags := c.tags[base : base+c.ways]
+	vb := c.validBits[setIdx]
 
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.tick
+	for i, t := range tags {
+		if t == lineAddr && vb&(1<<uint(i)) != 0 {
+			c.lastUse[base+i] = c.tick
 			return true
 		}
 	}
 	st.Misses++
 
 	// Victim: first invalid way, else per policy.
-	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-	}
-	if victim < 0 {
-		if c.cfg.Replacement == RandomRepl {
-			c.lcg = c.lcg*6364136223846793005 + 1442695040888963407
-			victim = int((c.lcg >> 33) % uint64(len(set)))
-		} else {
-			victim = 0
-			var oldest uint64 = ^uint64(0)
-			for i := range set {
-				if set[i].lastUse < oldest {
-					oldest = set[i].lastUse
-					victim = i
-				}
+	var victim int
+	if inv := ^vb & c.waysMask; inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+	} else if c.cfg.Replacement == RandomRepl {
+		c.lcg = c.lcg*6364136223846793005 + 1442695040888963407
+		victim = int((c.lcg >> 33) % uint64(c.ways))
+	} else {
+		lu := c.lastUse[base : base+c.ways]
+		var oldest uint64 = ^uint64(0)
+		for i, u := range lu {
+			if u < oldest {
+				oldest = u
+				victim = i
 			}
 		}
 	}
-	v := &set[victim]
-	if v.valid && int(v.owner) != owner {
-		c.stats[v.owner].EvictedByOther++
+	vi := base + victim
+	if vb&(1<<uint(victim)) != 0 && int(c.owners[vi]) != owner {
+		c.stats[c.owners[vi]].EvictedByOther++
 		st.EvictedOther++
 	}
-	*v = line{tag: tag, owner: int8(owner), valid: true, lastUse: c.tick}
+	c.tags[vi] = lineAddr
+	c.owners[vi] = int8(owner)
+	c.lastUse[vi] = c.tick
+	c.validBits[setIdx] = vb | 1<<uint(victim)
 	return false
 }
 
@@ -200,11 +242,10 @@ func (c *Cache) ResetStats() {
 
 // Flush invalidates all lines and zeroes statistics.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.lastUse)
+	clear(c.owners)
+	clear(c.validBits)
 	c.ResetStats()
 	c.tick = 0
 }
@@ -212,27 +253,24 @@ func (c *Cache) Flush() {
 // ValidLines counts currently valid lines (used by invariant tests).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].valid {
-				n++
-			}
-		}
+	for _, vb := range c.validBits {
+		n += bits.OnesCount64(vb)
 	}
 	return n
 }
 
 // CapacityLines returns the total number of line slots.
-func (c *Cache) CapacityLines() int {
-	return len(c.sets) * c.cfg.Ways
-}
+func (c *Cache) CapacityLines() int { return len(c.tags) }
 
 // OwnerLines counts valid lines currently belonging to owner.
 func (c *Cache) OwnerLines(owner int) int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].valid && int(c.sets[i][j].owner) == owner {
+	for set, vb := range c.validBits {
+		base := set * c.ways
+		for vb != 0 {
+			w := bits.TrailingZeros64(vb)
+			vb &= vb - 1
+			if int(c.owners[base+w]) == owner {
 				n++
 			}
 		}

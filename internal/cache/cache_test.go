@@ -266,3 +266,91 @@ func TestSmallWorkingSetConvergesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// refStream produces a deterministic mixed-owner reference stream with
+// enough footprint pressure to exercise hits, capacity evictions, and
+// cross-owner interference.
+func refStream(n int) []uint64 {
+	addrs := make([]uint64, n)
+	lcg := uint64(12345)
+	for i := range addrs {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		addrs[i] = (lcg >> 20) % (1 << 20) * 64
+	}
+	return addrs
+}
+
+// TestAccessNMatchesAccess is the batched-path golden determinism
+// test: AccessN must be indistinguishable from per-access Access —
+// same hit results, same OwnerStats on every owner (including the
+// EvictedByOther/EvictedOther interference counters), same victim
+// choices (checked via final valid-line census) — for both
+// replacement policies.
+func TestAccessNMatchesAccess(t *testing.T) {
+	for _, repl := range []Replacement{LRU, RandomRepl} {
+		name := "lru"
+		if repl == RandomRepl {
+			name = "random"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				Name: "l2", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8,
+				MaxOwners: 4, Replacement: repl,
+			}
+			one, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := refStream(40960)
+			const blk = 128
+			hitsOne := make([]bool, blk)
+			hitsN := make([]bool, blk)
+			for off := 0; off < len(addrs); off += blk {
+				owner := (off / blk) % cfg.MaxOwners
+				chunk := addrs[off : off+blk]
+				for i, a := range chunk {
+					hitsOne[i] = one.Access(a, owner)
+				}
+				batched.AccessN(owner, chunk, hitsN)
+				for i := range chunk {
+					if hitsOne[i] != hitsN[i] {
+						t.Fatalf("owner %d addr[%d]: Access hit=%v AccessN hit=%v", owner, off+i, hitsOne[i], hitsN[i])
+					}
+				}
+			}
+			for o := 0; o < cfg.MaxOwners; o++ {
+				a, b := one.Stats(o), batched.Stats(o)
+				if a != b {
+					t.Fatalf("owner %d stats diverge:\n Access  %+v\n AccessN %+v", o, a, b)
+				}
+				if one.OwnerLines(o) != batched.OwnerLines(o) {
+					t.Fatalf("owner %d lines diverge: %d vs %d", o, one.OwnerLines(o), batched.OwnerLines(o))
+				}
+			}
+			if one.ValidLines() != batched.ValidLines() {
+				t.Fatalf("valid lines diverge: %d vs %d", one.ValidLines(), batched.ValidLines())
+			}
+			if one.TotalStats().EvictedByOther == 0 {
+				t.Fatal("stream produced no cross-owner evictions; test is not exercising interference")
+			}
+		})
+	}
+}
+
+// TestAccessNShortHitsPanics pins the scratch-buffer contract.
+func TestAccessNShortHitsPanics(t *testing.T) {
+	c, err := New(Config{Name: "l1", SizeBytes: 4096, LineBytes: 64, Ways: 4, MaxOwners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short hits buffer")
+		}
+	}()
+	c.AccessN(0, make([]uint64, 8), make([]bool, 4))
+}

@@ -1,0 +1,56 @@
+// Package profiling wires the standard pprof collectors into the
+// command-line tools: a CPU profile covering the run and a heap
+// profile captured at exit, for feeding `go tool pprof` when hunting
+// simulator hot spots (see the "Simulator performance" section of
+// DESIGN.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. Either path may be empty to
+// disable that profile. The returned stop function must run on normal
+// exit (defer it right after flag parsing): it stops the CPU profile
+// and writes the heap profile. Paths that cannot be created fail fast
+// so a long simulation is not run only to lose its profile at the end.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	var memF *os.File
+	if memPath != "" {
+		memF, err = os.Create(memPath)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memF != nil {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.Lookup("heap").WriteTo(memF, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+			memF.Close()
+		}
+	}, nil
+}

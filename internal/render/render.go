@@ -193,7 +193,7 @@ func BuildPlan(cfg Config, doc *webdoc.Document) (*Plan, error) {
 	domFootprint := nodes * cfg.DOMNodeBytes
 	layoutFootprint := nodes * cfg.LayoutNodeBytes
 	styleFootprint := styleRules*cfg.StyleRuleBytes + nodes*64
-	heapFootprint := maxI64(scriptBytes*cfg.ScriptHeapScale, 64<<10)
+	heapFootprint := max(scriptBytes*cfg.ScriptHeapScale, 64<<10)
 
 	p := &Plan{Features: f, ImageBytes: imageBytes, StyleMatches: matchStats}
 
@@ -205,7 +205,7 @@ func BuildPlan(cfg Config, doc *webdoc.Document) (*Plan, error) {
 	// Source streaming rides along: sequential over the HTML buffer.
 	p.Main = append(p.Main, workload.Segment{
 		Kind: "parse-stream", Ops: int64(doc.Bytes) / 8,
-		Lines: int64(doc.Bytes) / workload.LineBytes, FootprintBytes: maxI64(int64(doc.Bytes), workload.LineBytes),
+		Lines: int64(doc.Bytes) / workload.LineBytes, FootprintBytes: max(int64(doc.Bytes), workload.LineBytes),
 		Pattern: workload.Sequential, Base: htmlBase, IPC: cfg.ParseIPC,
 	})
 
@@ -224,7 +224,7 @@ func BuildPlan(cfg Config, doc *webdoc.Document) (*Plan, error) {
 		cfg.StyleOpsPerMatch*float64(matchStats.Matches) +
 		cfg.StyleOpsPerDecl*float64(matchStats.Declarations))
 	p.emit(&p.Main, cfg, "style", styleOps, cfg.StyleOpsPerLine, workload.Segment{
-		Pattern: workload.Random, Base: styleBase, FootprintBytes: maxI64(styleFootprint, 64<<10), IPC: cfg.StyleIPC,
+		Pattern: workload.Random, Base: styleBase, FootprintBytes: max(styleFootprint, 64<<10), IPC: cfg.StyleIPC,
 	})
 
 	// --- Layout: pointer chase over the render tree, depth-weighted.
@@ -287,11 +287,4 @@ func (p *Plan) MainSource() workload.Source {
 // for pages without images).
 func (p *Plan) HelperSource() workload.Source {
 	return workload.FromSegments("render-helper", p.Helper)
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

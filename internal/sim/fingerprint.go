@@ -1,8 +1,20 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"dora/internal/cache"
+	"dora/internal/corun"
+	"dora/internal/governor"
 	"dora/internal/runcache"
 	"dora/internal/soc"
+	"dora/internal/webgen"
 )
 
 // ConfigFingerprint returns a stable hash identifying a device
@@ -19,4 +31,99 @@ func ConfigFingerprint(cfg soc.Config) string {
 		parts = append(parts, cfg.OPPs.All(), cfg.OPPs.SwitchLatency, cfg.OPPs.SwitchEnergyJ)
 	}
 	return runcache.Key(parts...)
+}
+
+// CampaignFingerprint runs a small fixed-seed measurement campaign and
+// hashes every observable of every run — load time, timeout flag,
+// whole-device energy, average power, PPW, co-runner MPKI/utilization/
+// instructions, temperatures, DVFS switch count, and the full frequency
+// residency histogram — with floats folded in bit-exactly. Two
+// simulator builds that report the same fingerprint produce
+// byte-identical observables for the covered configurations.
+//
+// The campaign is chosen to exercise every hot-path variant the
+// simulator optimizes: browser-alone and co-scheduled loads, a light
+// and a memory-heavy kernel (sequential/strided and random/pointer-
+// chase reference patterns), and both L2 replacement policies. It is
+// the guardrail behind performance work on the quantum loop: any
+// rewrite must leave this value unchanged.
+func CampaignFingerprint(seed int64) (string, error) {
+	h := sha256.New()
+	type cell struct {
+		page  string
+		kern  string // "" = browser alone
+		l2LRU bool
+	}
+	cells := []cell{
+		{page: "Alipay"},
+		{page: "Alipay", kern: "backprop"},
+		{page: "Reddit", kern: "kmeans"},
+		{page: "Reddit", kern: "backprop"},
+		{page: "Alipay", kern: "backprop", l2LRU: true},
+	}
+	for _, cl := range cells {
+		cfg := soc.NexusFive()
+		if cl.l2LRU {
+			cfg.L2Replacement = cache.LRU
+		}
+		spec, err := webgen.ByName(cl.page)
+		if err != nil {
+			return "", err
+		}
+		wl := Workload{Page: spec}
+		if cl.kern != "" {
+			k, err := corun.ByName(cl.kern)
+			if err != nil {
+				return "", err
+			}
+			wl.CoRun = &k
+		}
+		res, err := LoadPage(Options{
+			SoC:      cfg,
+			Governor: governor.NewInteractive(governor.DefaultInteractiveConfig()),
+			Seed:     seed,
+		}, wl)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s|%s|%v|", cl.page, cl.kern, cl.l2LRU)
+		hashU64(h, uint64(res.LoadTime))
+		hashU64(h, boolU64(res.DeadlineMet))
+		hashU64(h, boolU64(res.TimedOut))
+		hashF64(h, res.EnergyJ)
+		hashF64(h, res.AvgPowerW)
+		hashF64(h, res.PPW)
+		hashF64(h, res.AvgCoRunMPKI)
+		hashF64(h, res.AvgCoRunUtil)
+		hashU64(h, res.CoRunInstructions)
+		hashF64(h, res.StartTempC)
+		hashF64(h, res.AvgSoCTempC)
+		hashF64(h, res.MaxSoCTempC)
+		hashU64(h, uint64(res.Switches))
+		freqs := make([]int, 0, len(res.FreqResidency))
+		for f := range res.FreqResidency {
+			freqs = append(freqs, f)
+		}
+		sort.Ints(freqs)
+		for _, f := range freqs {
+			hashU64(h, uint64(f))
+			hashU64(h, uint64(res.FreqResidency[f]))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hashU64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func hashF64(h hash.Hash, v float64) { hashU64(h, math.Float64bits(v)) }
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }

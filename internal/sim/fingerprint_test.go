@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// goldenCampaignFingerprint was recorded against the pre-optimization
+// simulator (PR 2 head) and must never change: the fast quantum loop,
+// flat cache geometry, and batched reference generation are required to
+// produce byte-identical observables. If an intentional *modeling*
+// change moves this value, re-record it in the same commit and say so
+// in the commit message; a performance change must not move it.
+const goldenCampaignFingerprint = "6fb861cb938de3ecd7315541f893384f09ce8b43fd1d15996eba12489b13049c"
+
+func TestCampaignFingerprintGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short")
+	}
+	got, err := CampaignFingerprint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("campaign fingerprint: %s", got)
+	if got != goldenCampaignFingerprint {
+		t.Fatalf("campaign fingerprint drifted:\n got  %s\n want %s\nobservables are no longer bit-identical to the golden simulator", got, goldenCampaignFingerprint)
+	}
+}
+
+// TestCampaignFingerprintSeedSensitivity guards against the fingerprint
+// degenerating into a constant (e.g. hashing zero-valued results): a
+// different seed must produce a different fingerprint.
+func TestCampaignFingerprintSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign; skipped in -short")
+	}
+	a, err := CampaignFingerprint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CampaignFingerprint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("fingerprint insensitive to seed: %s", a)
+	}
+}

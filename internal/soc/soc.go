@@ -154,24 +154,46 @@ func (c Config) Validate() error {
 	return c.Power.Validate()
 }
 
+// refBlock is the reference-batch size: addresses are generated and
+// probed through the private L1 this many at a time, into per-core
+// scratch reused across quanta and segments.
+const refBlock = 256
+
 // coreState tracks one core's execution.
 type coreState struct {
 	src  workload.Source
 	done bool // finite source exhausted
 
 	seg        workload.Segment // segment currently executing
-	gen        *workload.RefGen
-	remSamples int64 // sampled touches left in segment
-	opsPerSamp int64 // (scaled-up) ops per sampled touch
-	remOps     int64 // ops left (pure-compute segments / remainder)
-	idleNs     int64 // pending idle time from segment gaps
+	gen        workload.RefGen  // reinitialized in place per segment
+	remSamples int64            // sampled touches left in segment
+	opsPerSamp int64            // (scaled-up) ops per sampled touch
+	remOps     int64            // ops left (pure-compute segments / remainder)
+	idleNs     int64            // pending idle time from segment gaps
 
 	chunkOpsRem  int64 // ops left before the next sampled touch
 	pendingStall int64 // stall ns left to pay for the last touch
 
-	// posByBase continues sequential/strided walks across segments
-	// that revisit the same region (multi-pass kernels).
-	posByBase map[uint64]uint64
+	// Reference batch: addrBlk/l1Hit hold the next blkLen-blkPos
+	// touches of the current segment with their private-L1 results
+	// already probed (the L1 is only ever accessed by this core, so
+	// probing ahead within a segment is observationally identical to
+	// probing at issue time). genRem counts segment touches not yet
+	// generated into the block.
+	addrBlk []uint64
+	l1Hit   []bool
+	blkPos  int
+	blkLen  int
+	genRem  int64
+
+	// posBases/posVals continue sequential/strided walks across
+	// segments that revisit the same region (multi-pass kernels): a
+	// small base-sorted pair of slices replacing the former
+	// map[uint64]uint64, since the handful of distinct region bases a
+	// workload touches makes a binary search cheaper than hashing on
+	// the per-segment path.
+	posBases []uint64
+	posVals  []uint64
 
 	// spanKind/spanStartNs track the open trace span for this core's
 	// current run of same-kind segments (tracer attached only).
@@ -187,8 +209,27 @@ type coreState struct {
 
 // Machine is the simulated SoC plus whole-device environment.
 type Machine struct {
-	cfg   Config
-	scale int64 // 1 << SampleShift
+	cfg    Config
+	scale  int64   // 1 << SampleShift
+	scaleU uint64  // scale as uint64 (counter increments)
+	scaleF float64 // scale as float64 (latency scaling)
+
+	// mlpTab memoizes the per-pattern MLP divisor (indexed by
+	// workload.Pattern, out-of-range clamped to pointer-chase), built
+	// once at New instead of re-switched per access.
+	mlpTab [4]float64
+	// l2HitStallNs is the constant scaled-up L2-hit stall.
+	l2HitStallNs int64
+
+	// Per-slice hoisted memory-latency terms. Bus utilization and
+	// frequency are frozen within a slice (utilization updates at
+	// EndWindow, frequency only between Step calls), so the flat-model
+	// per-pattern miss stall and the bank-model transfer/queue factors
+	// are computed once per slice instead of per miss — with the same
+	// float expression shapes, keeping results bit-identical.
+	missStallNs [4]int64
+	xferNs      float64
+	queueF1     float64
 
 	l1      []*cache.Cache
 	l2      *cache.Cache
@@ -263,12 +304,16 @@ func New(cfg Config, seed int64) (*Machine, error) {
 	}
 
 	m := &Machine{
-		cfg:        cfg,
-		scale:      scale,
-		cores:      make([]coreState, cfg.Cores),
-		rng:        rand.New(rand.NewSource(seed)),
-		opp:        cfg.OPPs.Min(),
-		corePowers: make([]float64, cfg.Cores),
+		cfg:          cfg,
+		scale:        scale,
+		scaleU:       uint64(scale),
+		scaleF:       float64(scale),
+		mlpTab:       [4]float64{cfg.MLPSequential, cfg.MLPStrided, cfg.MLPRandom, cfg.MLPPointerChase},
+		l2HitStallNs: int64(cfg.L2HitNs * float64(scale)),
+		cores:        make([]coreState, cfg.Cores),
+		rng:          rand.New(rand.NewSource(seed)),
+		opp:          cfg.OPPs.Min(),
+		corePowers:   make([]float64, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		l1, err := mkCache(fmt.Sprintf("l1-%d", i), cfg.L1SizeBytes, cfg.L1Ways, 1, cache.LRU)
@@ -316,8 +361,9 @@ func (m *Machine) AssignSource(core int, src workload.Source) error {
 	c.seg = workload.Segment{}
 	c.remSamples, c.remOps, c.idleNs = 0, 0, 0
 	c.chunkOpsRem, c.pendingStall = 0, 0
-	c.gen = nil
-	c.posByBase = nil
+	c.blkPos, c.blkLen, c.genRem = 0, 0, 0
+	c.posBases = c.posBases[:0]
+	c.posVals = c.posVals[:0]
 	return nil
 }
 
@@ -331,7 +377,9 @@ func (m *Machine) ClearSource(core int) {
 		c.seg = workload.Segment{}
 		c.remSamples, c.remOps, c.idleNs = 0, 0, 0
 		c.chunkOpsRem, c.pendingStall = 0, 0
-		c.posByBase = nil
+		c.blkPos, c.blkLen, c.genRem = 0, 0, 0
+		c.posBases = c.posBases[:0]
+		c.posVals = c.posVals[:0]
 	}
 }
 
@@ -433,6 +481,18 @@ func (m *Machine) stepSlice() {
 	quanta := m.cfg.SliceNs / m.cfg.QuantumNs
 	l2Before := m.l2.TotalStats().Accesses
 
+	// Hoist the memory-latency terms that are invariant for the whole
+	// slice out of the miss path (see the Machine field comments).
+	if m.banks != nil {
+		m.xferNs = m.bus.TransferSeconds() * 1e9
+		m.queueF1 = 1 + m.bus.QueueFactor()
+	} else {
+		lat := m.bus.TransactionLatency().Seconds() * 1e9
+		for p := range m.missStallNs {
+			m.missStallNs[p] = int64(lat / m.mlpTab[p] * m.scaleF)
+		}
+	}
+
 	// Apply any pending DVFS stall once, to all cores, as idle-like
 	// busy time (the core is halted mid-transition).
 	switchStall := m.stallAllNs
@@ -442,7 +502,7 @@ func (m *Machine) stepSlice() {
 		for i := range m.cores {
 			budget := m.cfg.QuantumNs
 			if q == 0 && switchStall > 0 {
-				st := minI64(switchStall, budget)
+				st := min(switchStall, budget)
 				c := &m.cores[i]
 				c.counters.BusyNs += st
 				c.counters.StallNs += st
@@ -550,10 +610,13 @@ func (m *Machine) FlushTrace() {
 // exactly aligned with wall-clock quanta.
 func (m *Machine) advanceCore(i int, budget int64) {
 	c := &m.cores[i]
+	// The OPP cannot change mid-call (SetOPP runs between Step calls),
+	// so the frequency term of the ops rate is loop-invariant.
+	freqGHz := m.opp.FreqGHz()
 	for budget > 0 {
 		// Pay off stall from the last memory touch.
 		if c.pendingStall > 0 {
-			d := minI64(c.pendingStall, budget)
+			d := min(c.pendingStall, budget)
 			c.pendingStall -= d
 			c.counters.BusyNs += d
 			c.counters.StallNs += d
@@ -564,7 +627,7 @@ func (m *Machine) advanceCore(i int, budget int64) {
 		}
 		// Pending idle gap?
 		if c.idleNs > 0 {
-			d := minI64(c.idleNs, budget)
+			d := min(c.idleNs, budget)
 			c.idleNs -= d
 			c.counters.IdleNs += d
 			budget -= d
@@ -589,7 +652,6 @@ func (m *Machine) advanceCore(i int, budget int64) {
 			continue
 		}
 
-		freqGHz := m.opp.FreqGHz()
 		ipc := c.seg.IPC
 		if ipc <= 0 {
 			ipc = m.cfg.DefaultIPC
@@ -615,12 +677,12 @@ func (m *Machine) advanceCore(i int, budget int64) {
 		if opsPossible < 1 {
 			opsPossible = 1
 		}
-		ops := minI64(c.chunkOpsRem, opsPossible)
+		ops := min(c.chunkOpsRem, opsPossible)
 		d := int64(float64(ops) / opsPerNs)
 		if d < 1 {
 			d = 1
 		}
-		d = minI64(d, budget)
+		d = min(d, budget)
 		c.counters.Instructions += uint64(ops)
 		c.counters.BusyNs += d
 		c.sliceBusyNs += d
@@ -673,7 +735,8 @@ func (m *Machine) loadSegment(core int, c *coreState, seg workload.Segment) {
 	c.remOps = seg.Ops
 	c.remSamples = 0
 	c.chunkOpsRem = 0
-	c.gen = nil
+	c.genRem = 0
+	c.blkPos, c.blkLen = 0, 0
 	if seg.Lines > 0 {
 		samples := seg.Lines >> m.cfg.SampleShift
 		if samples < 1 {
@@ -688,58 +751,90 @@ func (m *Machine) loadSegment(core int, c *coreState, seg workload.Segment) {
 		if scaled.FootprintBytes < int64(m.cfg.LineBytes) {
 			scaled.FootprintBytes = int64(m.cfg.LineBytes)
 		}
-		if c.posByBase == nil {
-			c.posByBase = make(map[uint64]uint64)
+		start := c.segPosAdvance(seg.Base, uint64(samples))
+		c.gen.Reinit(scaled, m.rng.Uint64(), start)
+		c.genRem = samples
+		if c.addrBlk == nil {
+			c.addrBlk = make([]uint64, refBlock)
+			c.l1Hit = make([]bool, refBlock)
 		}
-		start := c.posByBase[seg.Base]
-		c.posByBase[seg.Base] = start + uint64(samples)
-		c.gen = workload.NewRefGenAt(scaled, m.rng.Uint64(), start)
 	}
+}
+
+// segPosAdvance returns the walk position accumulated so far for the
+// region at base and advances it by n, inserting the region on first
+// sight — the sorted-slice equivalent of the old posByBase map (absent
+// regions start at 0).
+func (c *coreState) segPosAdvance(base uint64, n uint64) uint64 {
+	lo, hi := 0, len(c.posBases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.posBases[mid] < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.posBases) && c.posBases[lo] == base {
+		start := c.posVals[lo]
+		c.posVals[lo] = start + n
+		return start
+	}
+	c.posBases = append(c.posBases, 0)
+	c.posVals = append(c.posVals, 0)
+	copy(c.posBases[lo+1:], c.posBases[lo:])
+	copy(c.posVals[lo+1:], c.posVals[lo:])
+	c.posBases[lo] = base
+	c.posVals[lo] = n
+	return 0
 }
 
 // access pushes one sampled touch through the hierarchy and returns
-// the (scaled-up) stall in nanoseconds.
+// the (scaled-up) stall in nanoseconds. Touch addresses come from the
+// per-core reference batch, refilled (and L1-probed in bulk) when
+// drained; shared-L2 and bus traffic still happen here, at issue time,
+// preserving the global L2/bus access order across cores.
 func (m *Machine) access(core int, c *coreState) int64 {
-	addr := c.gen.Next()
-	if m.l1[core].Access(addr, 0) {
+	if c.blkPos == c.blkLen {
+		n := min(int64(refBlock), c.genRem)
+		c.gen.FillBlock(c.addrBlk[:n])
+		m.l1[core].AccessN(0, c.addrBlk[:n], c.l1Hit[:n])
+		c.genRem -= n
+		c.blkPos, c.blkLen = 0, int(n)
+	}
+	i := c.blkPos
+	c.blkPos++
+	if c.l1Hit[i] {
 		return 0 // L1 hit: folded into base IPC
 	}
-	c.counters.L2Accesses += uint64(m.scale)
+	addr := c.addrBlk[i]
+	c.counters.L2Accesses += m.scaleU
 	if m.l2.Access(addr, core) {
-		return int64(m.cfg.L2HitNs * float64(m.scale))
+		return m.l2HitStallNs
 	}
-	c.counters.L2Misses += uint64(m.scale)
-	c.counters.BusTx += uint64(m.scale)
+	c.counters.L2Misses += m.scaleU
+	c.counters.BusTx += m.scaleU
 	m.bus.Add(core, m.scale)
-	var lat float64
 	if m.banks != nil {
 		// Address-dependent service time: row-buffer state + transfer,
-		// then the same queueing inflation.
-		service := m.banks.AccessNs(addr) + m.bus.TransferSeconds()*1e9
-		lat = service * (1 + m.bus.QueueFactor())
-	} else {
-		lat = m.bus.TransactionLatency().Seconds() * 1e9
+		// then the same queueing inflation (transfer and queue terms
+		// hoisted per slice).
+		lat := (m.banks.AccessNs(addr) + m.xferNs) * m.queueF1
+		return int64(lat / m.mlpTab[patIdx(c.seg.Pattern)] * m.scaleF)
 	}
-	mlp := m.mlpFor(c.seg.Pattern)
-	return int64(lat / mlp * float64(m.scale))
+	return m.missStallNs[patIdx(c.seg.Pattern)]
 }
 
-func (m *Machine) mlpFor(p workload.Pattern) float64 {
-	switch p {
-	case workload.Sequential:
-		return m.cfg.MLPSequential
-	case workload.Strided:
-		return m.cfg.MLPStrided
-	case workload.Random:
-		return m.cfg.MLPRandom
-	default:
-		return m.cfg.MLPPointerChase
-	}
-}
+// mlpFor returns the memory-level-parallelism divisor for a pattern,
+// via the lookup table built at New.
+func (m *Machine) mlpFor(p workload.Pattern) float64 { return m.mlpTab[patIdx(p)] }
 
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
+// patIdx maps a pattern to its mlpTab/missStallNs index; values outside
+// the known patterns get pointer-chase semantics, matching the former
+// switch's default arm.
+func patIdx(p workload.Pattern) int {
+	if p < workload.Sequential || p > workload.PointerChase {
+		return int(workload.PointerChase)
 	}
-	return b
+	return int(p)
 }

@@ -278,10 +278,3 @@ func GeoMean(xs []float64) (float64, error) {
 	}
 	return math.Exp(s / float64(len(xs))), nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

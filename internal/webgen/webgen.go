@@ -236,10 +236,3 @@ func writeScript(b *strings.Builder, rng *rand.Rand, n int) {
 		i++
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -119,6 +119,15 @@ func NewRefGen(seg Segment, seed uint64) *RefGen {
 // at the given position, so consecutive segments over the same region
 // keep advancing through it instead of retouching its head.
 func NewRefGenAt(seg Segment, seed uint64, startPos uint64) *RefGen {
+	g := &RefGen{}
+	g.Reinit(seg, seed, startPos)
+	return g
+}
+
+// Reinit re-targets an existing generator at a new segment, exactly as
+// NewRefGenAt would but without allocating — the simulator's quantum
+// loop keeps one RefGen per core and reinitializes it per segment.
+func (g *RefGen) Reinit(seg Segment, seed uint64, startPos uint64) {
 	lines := uint64(seg.FootprintBytes) / LineBytes
 	if lines == 0 {
 		lines = 1
@@ -127,7 +136,7 @@ func NewRefGenAt(seg Segment, seed uint64, startPos uint64) *RefGen {
 	if seg.Pattern == Strided && seg.StrideLines > 0 {
 		stride = uint64(seg.StrideLines)
 	}
-	return &RefGen{
+	*g = RefGen{
 		seg:    seg,
 		lines:  lines,
 		pos:    startPos,
@@ -162,6 +171,60 @@ func (g *RefGen) Next() uint64 {
 		lineIdx = 0
 	}
 	return g.seg.Base + lineIdx*LineBytes
+}
+
+// FillBlock fills dst with the addresses of the next len(dst) touches,
+// exactly as len(dst) successive Next calls would. The switch on the
+// access pattern is hoisted out of the per-touch loop and the
+// sequential/strided walks replace the per-touch modulo with an
+// incremental wrap, so bulk generation into a caller-owned scratch
+// buffer is several times cheaper than one call per reference.
+func (g *RefGen) FillBlock(dst []uint64) {
+	base, lines := g.seg.Base, g.lines
+	switch g.seg.Pattern {
+	case Sequential:
+		p := g.pos % lines
+		for i := range dst {
+			dst[i] = base + p*LineBytes
+			p++
+			if p == lines {
+				p = 0
+			}
+		}
+		g.pos += uint64(len(dst))
+	case Strided:
+		// p tracks (pos*stride) % lines incrementally: adding the
+		// reduced stride and wrapping once is equivalent because both
+		// summands are already < lines.
+		p := (g.pos * g.stride) % lines
+		step := g.stride % lines
+		for i := range dst {
+			dst[i] = base + p*LineBytes
+			p += step
+			if p >= lines {
+				p -= lines
+			}
+		}
+		g.pos += uint64(len(dst))
+	case Random:
+		lcg := g.lcg
+		for i := range dst {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			dst[i] = base + ((lcg>>17)%lines)*LineBytes
+		}
+		g.lcg = lcg
+	case PointerChase:
+		lcg := g.lcg
+		for i := range dst {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			dst[i] = base + ((lcg>>11)%lines)*LineBytes
+		}
+		g.lcg = lcg
+	default:
+		for i := range dst {
+			dst[i] = base
+		}
+	}
 }
 
 // sliceSource replays a fixed segment list once.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dora
+
+// raceEnabled reports whether the binary was built with the race
+// detector (see race_on.go); the quantum-loop allocation guard uses it
+// to relax its strict zero-allocation assertion under instrumentation.
+const raceEnabled = false

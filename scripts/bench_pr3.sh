@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench_pr3.sh — record the PR 3 simulation-kernel performance trajectory.
+#
+# Verifies the bit-identical-observables guarantee (the fixed-seed
+# campaign fingerprint must match the golden value recorded against the
+# pre-optimization simulator), runs the kernel benchmarks with
+# -benchmem, and writes the parsed results — including ns/simulated-ms,
+# allocs/op, and speedup over the PR 2 seed — to BENCH_PR3.json at the
+# repo root (or the path given as $1).
+#
+# The seed baseline below was measured at commit 929b7ec (PR 2 head) on
+# the same machine, with BenchmarkLoadPage/QuantumLoop/AccessN backported
+# unchanged (they did not exist before this PR; AccessN was measured as
+# the equivalent per-access loop). Re-record it when rebaselining.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR3.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "verifying campaign fingerprint against the golden simulator..." >&2
+fp_out="$(go test -run '^TestCampaignFingerprintGolden$' -count=1 -v -timeout 20m ./internal/sim)"
+echo "$fp_out" >&2
+fingerprint="$(echo "$fp_out" | sed -n 's/.*campaign fingerprint: \([0-9a-f]*\).*/\1/p' | head -1)"
+if [ -z "$fingerprint" ]; then
+  echo "error: could not extract campaign fingerprint" >&2
+  exit 1
+fi
+
+echo "running kernel benchmarks (a few minutes)..." >&2
+go test -run '^$' \
+  -bench '^Benchmark(LoadPage|QuantumLoop|AccessN|CacheAccess|RefGen|SimulatedSecond|TelemetryDisabled)$' \
+  -benchmem -timeout 30m . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v ncpu="$({ go env GOMAXPROCS 2>/dev/null; nproc 2>/dev/null; echo 0; } | awk 'NF {print; exit}')" \
+    -v fingerprint="$fingerprint" '
+BEGIN {
+  # ns/op at the PR 2 seed (see header comment).
+  base["LoadPage"] = 1817690922
+  base["QuantumLoop"] = 242490
+  base["AccessN"] = 64.34
+  base["CacheAccess"] = 79.87
+  base["RefGen"] = 7.172
+  base["SimulatedSecond"] = 116708589
+  base["TelemetryDisabled"] = 115135
+  base_allocs["LoadPage"] = 24629
+  base_allocs["QuantumLoop"] = 0   # 28 B/op, 0 allocs/op amortized
+  printf "{\n  \"pr\": 3,\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n", date, goversion, ncpu
+  printf "  \"campaign_fingerprint\": \"%s\",\n", fingerprint
+  printf "  \"fingerprint_bit_identical_to_seed\": true,\n"
+  printf "  \"baseline\": \"commit 929b7ec (PR 2 head), same machine, benchmarks backported\",\n"
+  printf "  \"benchmarks\": ["
+}
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", name, $2
+  m = 0; ns = 0
+  for (i = 3; i < NF; i += 2) {
+    if (m++) printf ", "
+    printf "\"%s\": %s", $(i+1), $i
+    if ($(i+1) == "ns/op") ns = $i
+  }
+  printf "}"
+  if (name in base && ns > 0)
+    printf ", \"seed_ns_op\": %s, \"speedup_vs_seed\": %.2f", base[name], base[name] / ns
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }' "$raw" > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
