@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench bench-pr2 bench-pr3
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ test-short:
 # worker pool and the race detector watching the fan-out.
 race:
 	DORA_WORKERS=4 $(GO) test -short -race ./...
+
+# Static analysis: go vet plus the repository's own doralint suite
+# (determinism, maporder, hotpath, telemetrysafe). Both run offline
+# with nothing but the Go toolchain.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/doralint ./...
+
+# Refresh LINT_REPORT.json, the per-rule finding counts diffed across
+# PRs the way the BENCH_*.json files are.
+lint-report:
+	scripts/lint_report.sh
 
 # Record the PR 2 performance trajectory (suite-build speedup and
 # telemetry overhead) into BENCH_PR2.json.

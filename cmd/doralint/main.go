@@ -1,0 +1,126 @@
+// Command doralint runs the repository's static-analysis suite (see
+// internal/lint): determinism, maporder, hotpath, and telemetrysafe,
+// plus validation of //doralint:allow suppressions. It is pure
+// standard library and needs no network.
+//
+// Usage:
+//
+//	doralint [-json] [-dir D] [packages]
+//
+// With no packages (or "./..."), the whole module containing -dir is
+// analyzed. Package arguments select a subset by import path or
+// module-relative directory; a trailing /... matches subtrees.
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors (parse failures, type errors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dora/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report (LINT_REPORT.json shape) on stdout")
+	dir := flag.String("dir", ".", "directory inside the module to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: doralint [-json] [-dir D] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doralint:", err)
+		os.Exit(2)
+	}
+	if err := selectPackages(mod, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "doralint:", err)
+		os.Exit(2)
+	}
+
+	analyzers := lint.Analyzers()
+	diags := lint.Run(mod, analyzers)
+
+	if *jsonOut {
+		rep := lint.NewReport(mod, analyzers, diags)
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doralint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "doralint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectPackages narrows mod.Pkgs to the requested patterns. "./..."
+// (and no patterns at all) selects everything; other patterns match an
+// import path or a module-relative directory, with /... selecting the
+// subtree.
+func selectPackages(mod *lint.Module, patterns []string) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == "all" {
+			return nil
+		}
+		matched := false
+		for _, pkg := range mod.Pkgs {
+			if matchPackage(mod, pkg, pat) {
+				keep[pkg.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return fmt.Errorf("pattern %q matches no packages in module %s", pat, mod.Path)
+		}
+	}
+	var pkgs []*lint.Package
+	for _, pkg := range mod.Pkgs {
+		if keep[pkg.Path] {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	mod.Pkgs = pkgs
+	return nil
+}
+
+// matchPackage reports whether pkg matches one CLI pattern, given as
+// an import path ("dora/internal/soc") or module-relative directory
+// ("./internal/soc", "internal/soc").
+func matchPackage(mod *lint.Module, pkg *lint.Package, pat string) bool {
+	sub := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		pat, sub = rest, true
+	}
+	pat = filepath.ToSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/"))
+	candidates := []string{pat}
+	if pat == "" || pat == "." {
+		candidates = []string{mod.Path}
+	} else if pat != mod.Path && !strings.HasPrefix(pat, mod.Path+"/") {
+		candidates = append(candidates, mod.Path+"/"+pat)
+	}
+	for _, c := range candidates {
+		if pkg.Path == c || (sub && strings.HasPrefix(pkg.Path, c+"/")) {
+			return true
+		}
+	}
+	return false
+}

@@ -135,14 +135,23 @@ func New(cfg Config) (*Cache, error) {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// checkOwner panics when owner is outside the configured requestor
+// range. It lives outside the //dora:hotpath functions so the
+// formatted panic message does not pull fmt into their bodies.
+func (c *Cache) checkOwner(owner int) {
+	if owner < 0 || owner >= c.cfg.MaxOwners {
+		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
+	}
+}
+
 // Access simulates one reference by owner at addr. It returns true on a
 // hit. On a miss the line is installed, evicting the first invalid way,
 // else the policy's victim; if the victim belonged to a different
 // owner, interference counters are updated on both sides.
+//
+//dora:hotpath
 func (c *Cache) Access(addr uint64, owner int) bool {
-	if owner < 0 || owner >= c.cfg.MaxOwners {
-		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
-	}
+	c.checkOwner(owner)
 	return c.access(addr, owner, &c.stats[owner])
 }
 
@@ -153,10 +162,10 @@ func (c *Cache) Access(addr uint64, owner int) bool {
 // the per-access call and owner-range overhead hoisted out of the
 // loop. hits must be at least as long as addrs; both are caller-owned
 // scratch, so a quantum's worth of references costs no allocation.
+//
+//dora:hotpath
 func (c *Cache) AccessN(owner int, addrs []uint64, hits []bool) {
-	if owner < 0 || owner >= c.cfg.MaxOwners {
-		panic(fmt.Sprintf("cache %q: owner %d out of range", c.cfg.Name, owner))
-	}
+	c.checkOwner(owner)
 	hits = hits[:len(addrs)] // one bounds check up front
 	st := &c.stats[owner]
 	for i, a := range addrs {
@@ -165,6 +174,8 @@ func (c *Cache) AccessN(owner int, addrs []uint64, hits []bool) {
 }
 
 // access is the shared per-reference body of Access and AccessN.
+//
+//dora:hotpath
 func (c *Cache) access(addr uint64, owner int, st *OwnerStats) bool {
 	c.tick++
 	st.Accesses++

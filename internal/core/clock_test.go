@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dora/internal/clock"
+	"dora/internal/dvfs"
+	"dora/internal/governor"
+)
+
+// TestDecideTimeInjectedClock proves the controller-overhead timing is
+// fully clock-injected: with a ticking manual clock every Decide pass
+// measures exactly one step, so DecideTime is deterministic — the
+// property the doralint determinism analyzer enforces statically by
+// banning direct time.Now/time.Since in this package.
+func TestDecideTimeInjectedClock(t *testing.T) {
+	models := syntheticModels(t)
+	g, err := New(models, Options{
+		Mode:       ModeDORA,
+		UseLeakage: true,
+		Clock:      clock.NewTicking(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	table := dvfs.MSM8974()
+	ctx := governor.Context{
+		Now:          0,
+		Deadline:     3 * time.Second,
+		Table:        table,
+		Current:      table.Min(),
+		PageFeatures: []float64{2000, 300, 250, 200, 260},
+	}
+	const reps = 7
+	for i := 0; i < reps; i++ {
+		g.Decide(ctx)
+	}
+	if g.Decisions() != reps {
+		t.Fatalf("Decisions = %d, want %d", g.Decisions(), reps)
+	}
+	if got := g.DecideTime(); got != reps*time.Millisecond {
+		t.Fatalf("DecideTime = %v, want %v (one tick per pass)", got, reps*time.Millisecond)
+	}
+}

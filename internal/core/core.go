@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"dora/internal/clock"
 	"dora/internal/dvfs"
 	"dora/internal/governor"
 	"dora/internal/power"
@@ -222,12 +223,17 @@ type Options struct {
 	Fallback governor.Governor
 	// NameSuffix distinguishes ablations in reports.
 	NameSuffix string
+	// Clock times Decide passes for the Section V-H controller
+	// overhead figure (nil = the monotonic wall clock). Tests inject
+	// a manual clock so DecideTime is deterministic.
+	Clock clock.Clock
 }
 
 // Governor is the model-based frequency governor.
 type Governor struct {
 	models *Models
 	opts   Options
+	clk    clock.Clock
 
 	decisions  int
 	decideTime time.Duration
@@ -247,7 +253,7 @@ func New(models *Models, opts Options) (*Governor, error) {
 	if err := models.Validate(); err != nil {
 		return nil, err
 	}
-	return &Governor{models: models, opts: opts}, nil
+	return &Governor{models: models, opts: opts, clk: clock.Or(opts.Clock)}, nil
 }
 
 // Name identifies the governor in reports.
@@ -306,10 +312,10 @@ func (g *Governor) Decide(ctx governor.Context) dvfs.OPP {
 		}
 		return ctx.Current
 	}
-	start := time.Now()
+	start := g.clk.Now()
 	defer func() {
 		g.decisions++
-		g.decideTime += time.Since(start)
+		g.decideTime += g.clk.Since(start)
 	}()
 
 	deadline := ctx.Deadline

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dora/internal/asciichart"
+	"dora/internal/clock"
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/sim"
@@ -271,9 +272,16 @@ func (s *Suite) Fig9() (*Fig9Result, error) {
 }
 
 func modalFreq(r sim.Result) int {
+	freqs := make([]int, 0, len(r.FreqResidency))
+	for f := range r.FreqResidency {
+		freqs = append(freqs, f)
+	}
+	sort.Ints(freqs)
+	// Scanning in ascending frequency order makes ties deterministic
+	// (the lowest tied frequency wins) instead of map-order-dependent.
 	best, bestD := 0, time.Duration(0)
-	for f, d := range r.FreqResidency {
-		if d > bestD {
+	for _, f := range freqs {
+		if d := r.FreqResidency[f]; d > bestD {
 			best, bestD = f, d
 		}
 	}
@@ -561,13 +569,14 @@ func (s *Suite) Overhead() (*OverheadResult, error) {
 		return nil, err
 	}
 	const reps = 200
-	start := time.Now()
+	clk := clock.Or(s.Clock)
+	start := clk.Now()
 	for i := 0; i < reps; i++ {
 		if _, err := s.Models.PredictAll(s.SoC.OPPs, ctxPage, 8, 1, 45, Deadline, true); err != nil {
 			return nil, err
 		}
 	}
-	res.MeanDecideCost = time.Since(start) / reps
+	res.MeanDecideCost = clk.Since(start) / reps
 	res.Decisions = reps
 	res.DecideFracOfSlot = float64(res.MeanDecideCost) / float64(DORAInterval)
 	res.SwitchesPerLoad = float64(totalSwitches) / float64(len(combos))

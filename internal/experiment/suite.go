@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"dora/internal/clock"
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/governor"
@@ -55,6 +56,11 @@ type Suite struct {
 	// RunCache, when set, persists run results across processes; a warm
 	// cache serves repeat runs without touching the simulator.
 	RunCache *runcache.Cache
+
+	// Clock times the wall-clock portions of the overhead analysis
+	// (nil = the monotonic wall clock); tests inject a manual clock so
+	// the measurement itself is deterministic.
+	Clock clock.Clock
 
 	mu       sync.Mutex
 	cache    map[RunOptions]sim.Result

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression-comment directive.
+const allowPrefix = "doralint:allow"
+
+// allowDirective is one parsed //doralint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// valid reports whether the directive may suppress anything: it must
+// name a known rule and carry a reason. Malformed directives are
+// reported and suppress nothing.
+func (a *allowDirective) valid(known map[string]bool) bool {
+	return known[a.rule] && a.reason != ""
+}
+
+// collectAllows parses every //doralint:allow comment in the module.
+// Text from the first "// want" marker on is ignored, so the lint
+// fixture files can carry expectation comments on the same line.
+func collectAllows(mod *Module) []*allowDirective {
+	var allows []*allowDirective
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, allowPrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					if i := strings.Index(rest, "// want"); i >= 0 {
+						rest = rest[:i]
+					}
+					fields := strings.Fields(rest)
+					a := &allowDirective{pos: mod.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						a.rule = fields[0]
+						a.reason = strings.Join(fields[1:], " ")
+					}
+					allows = append(allows, a)
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// applyAllows filters diags through the module's suppression comments
+// and appends the meta diagnostics for malformed or stale ones. A
+// valid directive suppresses same-rule diagnostics on its own line
+// (trailing comment) or the line directly below (standalone comment
+// above the offending code). RuleAllow diagnostics are never
+// suppressible.
+func applyAllows(mod *Module, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	allows := collectAllows(mod)
+	if len(allows) == 0 {
+		return diags
+	}
+	known := map[string]bool{}
+	var names []string
+	for _, a := range analyzers {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
+
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	byLine := map[key][]*allowDirective{}
+	for _, a := range allows {
+		if !a.valid(known) {
+			continue
+		}
+		byLine[key{a.pos.Filename, a.pos.Line, a.rule}] = append(byLine[key{a.pos.Filename, a.pos.Line, a.rule}], a)
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		if d.Rule != RuleAllow {
+			for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+				for _, a := range byLine[key{d.Pos.Filename, line, d.Rule}] {
+					a.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, a := range allows {
+		switch {
+		case a.rule == "":
+			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
+				Message: fmt.Sprintf("//%s needs a rule name and a reason (known rules: %s)", allowPrefix, strings.Join(names, ", "))})
+		case !known[a.rule]:
+			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
+				Message: fmt.Sprintf("unknown rule %q in //%s (known rules: %s)", a.rule, allowPrefix, strings.Join(names, ", "))})
+		case a.reason == "":
+			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
+				Message: fmt.Sprintf("suppression of %q needs a reason: //%s %s <why this is safe>", a.rule, allowPrefix, a.rule)})
+		case !a.used:
+			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
+				Message: fmt.Sprintf("unused suppression of %q — no matching diagnostic on this or the next line; delete the stale //%s", a.rule, allowPrefix)})
+		}
+	}
+	return kept
+}

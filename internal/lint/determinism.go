@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism bans nondeterministic inputs — wall clock, global RNG,
+// process environment — inside the simulation/observable packages.
+// Every observable the campaign fingerprint hashes must be a pure
+// function of the seeded configuration; one stray time.Now or
+// rand.Int breaks bit-identical reruns silently until a golden test
+// happens to catch it.
+var Determinism = &Analyzer{
+	Name: RuleDeterminism,
+	Doc: "bans time.Now/Since/Until, top-level math/rand calls, and os.Getenv " +
+		"inside simulation packages; seeded rand.New(rand.NewSource(seed)) stays legal",
+	Run: runDeterminism,
+}
+
+// randAllowed are the math/rand package-level functions that stay
+// legal: they build seeded generators instead of consulting the global
+// source.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// timeBanned are the time package functions that read the wall clock.
+var timeBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// osBanned are the os package functions that read the process
+// environment.
+var osBanned = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+func runDeterminism(pass *Pass) {
+	if !pass.SimPackage() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods — e.g. (*rand.Rand).Int63 on a seeded
+				// generator — are deterministic state machines.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeBanned[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to time.%s reads the wall clock inside simulation package %q; route it through an injectable clock (internal/clock) or annotate //doralint:allow %s <reason>",
+						fn.Name(), pass.Pkg.Base(), RuleDeterminism)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s draws from the process-global RNG inside simulation package %q; use a seeded rand.New(rand.NewSource(seed)) instead",
+						fn.Pkg().Name(), fn.Name(), pass.Pkg.Base())
+				}
+			case "os":
+				if osBanned[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to os.%s makes simulation package %q depend on the process environment; plumb the value through Config instead",
+						fn.Name(), pass.Pkg.Base())
+				}
+			}
+			return true
+		})
+	}
+}

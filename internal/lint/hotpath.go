@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPath enforces allocation-free bodies for functions marked with a
+// //dora:hotpath doc comment — the simulator's quantum loop and the
+// bulk cache/refgen kernels under it. It is the compile-time companion
+// to TestQuantumLoopAllocs: the runtime guard proves allocs/op==0 for
+// one configuration, the analyzer keeps allocation constructs from
+// entering the marked functions on any path.
+var HotPath = &Analyzer{
+	Name: RuleHotPath,
+	Doc: "functions marked //dora:hotpath may not contain make/new/append, " +
+		"composite literals, closures, defer/go, fmt calls, or string concatenation",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPathFunc(fd) {
+				continue
+			}
+			checkHotPathBody(pass, fd)
+		}
+	}
+}
+
+// isHotPathFunc reports whether the function's doc comment carries the
+// //dora:hotpath marker.
+func isHotPathFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotPathMarker || strings.HasPrefix(text, HotPathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in //%s function %s breaks the zero-alloc quantum-loop invariant (see TestQuantumLoopAllocs); hoist it out of the hot path or annotate //doralint:allow %s <reason>",
+			what, HotPathMarker, name, RuleHotPath)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch pass.builtinName(n) {
+			case "make":
+				report(n.Pos(), "make")
+			case "new":
+				report(n.Pos(), "new")
+			case "append":
+				report(n.Pos(), "append (may grow the backing array)")
+			}
+			if fn := pass.Callee(n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				report(n.Pos(), "call to fmt."+fn.Name())
+			}
+		case *ast.CompositeLit:
+			report(n.Pos(), "composite literal")
+			return false // one finding per literal, not per nested element
+		case *ast.FuncLit:
+			report(n.Pos(), "closure")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer")
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && pass.isString(n.X) {
+				report(n.Pos(), "string concatenation")
+				return false // don't re-flag sub-concatenations of a chain
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && pass.isString(n.Lhs[0]) {
+				report(n.Pos(), "string concatenation")
+			}
+		}
+		return true
+	})
+}

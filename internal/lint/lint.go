@@ -1,0 +1,212 @@
+// Package lint implements doralint, the repository's static-analysis
+// suite. It statically enforces the invariants the simulator otherwise
+// guards only at runtime: bit-identical observables across worker
+// counts, the golden campaign fingerprint, and the zero-allocation
+// quantum loop. The driver walks every package of the module using
+// nothing but the standard library (go/parser, go/ast, go/types and a
+// source importer), so it runs offline and adds no dependencies.
+//
+// Four analyzers ship with the suite:
+//
+//   - determinism: bans wall-clock reads (time.Now/Since/Until),
+//     global-RNG calls (top-level math/rand functions other than
+//     New/NewSource/NewZipf), and environment reads (os.Getenv et al.)
+//     inside the simulation and observable packages. Seeded
+//     rand.New(rand.NewSource(seed)) and methods on a *rand.Rand stay
+//     legal.
+//   - maporder: flags `range` over a map in the same packages when the
+//     loop body has order-sensitive effects (writes to anything other
+//     than a map or an iteration-local variable, or an early exit)
+//     and is not followed by an explicit sort — map iteration order is
+//     the classic silent fingerprint-breaker.
+//   - hotpath: functions marked //dora:hotpath must contain no
+//     make/new/append, composite literals, closures, defer/go,
+//     fmt calls, or string concatenation — the compile-time companion
+//     to the TestQuantumLoopAllocs allocs/op==0 runtime guard.
+//   - telemetrysafe: calls into the telemetry package may not take
+//     fmt.Sprint*'d or string-concatenated arguments unless the call
+//     is guarded by a nil check on a telemetry handle, keeping the
+//     disabled-telemetry fast path free of formatting work.
+//
+// Any diagnostic can be suppressed with an annotation on the same line
+// or the line immediately above:
+//
+//	//doralint:allow <rule> <reason>
+//
+// A suppression naming an unknown rule, missing its reason, or
+// matching no diagnostic is itself reported (rule "allow"): stale or
+// typo'd suppressions are worse than none.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule names, as spelled in diagnostics and //doralint:allow comments.
+const (
+	RuleDeterminism   = "determinism"
+	RuleMapOrder      = "maporder"
+	RuleHotPath       = "hotpath"
+	RuleTelemetrySafe = "telemetrysafe"
+	// RuleAllow is the meta-rule reporting malformed or stale
+	// //doralint:allow suppressions. It cannot itself be suppressed.
+	RuleAllow = "allow"
+)
+
+// HotPathMarker is the comment directive that opts a function into the
+// hotpath analyzer.
+const HotPathMarker = "dora:hotpath"
+
+// simPackages are the simulation/observable packages (by import-path
+// base name) whose code feeds the campaign fingerprint: determinism
+// and maporder apply only inside them.
+var simPackages = map[string]bool{
+	"soc": true, "cache": true, "membus": true, "dvfs": true,
+	"power": true, "thermal": true, "core": true, "workload": true,
+	"corun": true, "sim": true, "train": true, "experiment": true,
+}
+
+// Diagnostic is one finding, positioned in module-relative file
+// coordinates.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the finding as "file:line:col: message [rule]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Analyzer is one named check run over every package of the module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full doralint suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, HotPath, TelemetrySafe}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// SimPackage reports whether the pass's package is one of the
+// simulation/observable packages the determinism rules cover.
+func (p *Pass) SimPackage() bool { return simPackages[p.Pkg.Base()] }
+
+// Callee resolves a call expression to the called *types.Func (package
+// function or method). It returns nil for builtins, conversions, and
+// calls of function-typed variables.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// builtinName returns the name of the builtin being called ("make",
+// "append", ...) or "" when the call is not a builtin.
+func (p *Pass) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isString reports whether e's type is (underlying) string.
+func (p *Pass) isString(e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// inspectWithStack walks f like ast.Inspect while also passing the
+// stack of ancestor nodes (outermost first, not including n itself).
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// Run executes the analyzers over every package of mod, applies the
+// //doralint:allow suppressions, appends the suppression meta
+// diagnostics, and returns the surviving findings sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	diags = applyAllows(mod, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module.
+type Module struct {
+	Root string // absolute directory holding go.mod
+	Path string // module path from the go.mod module directive
+	Fset *token.FileSet
+	Pkgs []*Package // every non-test package, sorted by import path
+}
+
+// Package is one type-checked package of the module. File positions
+// are module-relative, so diagnostics print the same from any working
+// directory.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// Base returns the last element of the package's import path — the
+// name the analyzer package sets are keyed by.
+func (p *Package) Base() string { return pathBase(p.Path) }
+
+// LoadModule locates the module containing dir, then parses and
+// type-checks every non-test package in it. The loader is pure
+// standard library: module packages are resolved from the module file
+// tree, everything else from GOROOT source via go/importer. Test
+// files, testdata, vendor, hidden directories, and nested modules are
+// skipped; //go:build constraints are honored with the host
+// GOOS/GOARCH and no extra tags (so race-only files are excluded,
+// exactly as a default build sees the tree).
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		dirs:    map[string]string{},
+		pkgs:    map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, pkg)
+	}
+	return mod, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := parseModulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod content.
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// loader type-checks module packages in dependency order, delegating
+// imports outside the module to the GOROOT source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	dirs    map[string]string   // import path -> absolute dir
+	pkgs    map[string]*Package // memo; nil entry = check in progress
+	std     types.Importer
+}
+
+// discover maps every package directory of the module to its import
+// path.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.root {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		files, err := l.goFilesIn(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		imp := l.modPath
+		if p != l.root {
+			rel, err := filepath.Rel(l.root, p)
+			if err != nil {
+				return err
+			}
+			imp = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = p
+		return nil
+	})
+}
+
+// goFilesIn lists dir's buildable non-test Go files, sorted.
+func (l *loader) goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// MatchFile evaluates //go:build constraints and filename
+		// GOOS/GOARCH suffixes against the default build context (no
+		// custom tags: a "race"-tagged file is excluded, its !race
+		// twin included).
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s/%s: %w", dir, name, err)
+		}
+		if ok {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, done := l.pkgs[path]; done {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: module %s has no package %q", l.modPath, path)
+	}
+	l.pkgs[path] = nil // mark in progress for cycle detection
+
+	names, err := l.goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.root, full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, filepath.ToSlash(rel), src,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Fset:  l.fset,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal packages come from
+// the module tree, everything else (the standard library) from the
+// GOROOT source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map inside the simulation packages
+// when the loop body has order-sensitive effects. Go randomizes map
+// iteration order per run, so a map-ordered loop feeding an observable
+// is the classic silent fingerprint-breaker. Two shapes stay legal:
+// loops whose only effects are writes into maps (or iteration-local
+// variables) — building one unordered collection from another — and
+// loops followed by an explicit sort of what they accumulated.
+var MapOrder = &Analyzer{
+	Name: RuleMapOrder,
+	Doc: "flags range-over-map in simulation packages when the body writes to " +
+		"anything other than a map or exits early, unless followed by an explicit sort",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.SimPackage() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			reason := orderSensitive(pass, rs)
+			if reason == "" || sortFollows(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"map iteration order is randomized and this loop %s; iterate sorted keys, sort the result, or annotate //doralint:allow %s <reason>",
+				reason, RuleMapOrder)
+			return true
+		})
+	}
+}
+
+// orderSensitive classifies the effects of a range-over-map body. It
+// returns a description of the first order-sensitive effect found, or
+// "" when every effect is order-independent (writes into maps, writes
+// to variables declared inside the loop, delete, clear).
+func orderSensitive(pass *Pass, rs *ast.RangeStmt) string {
+	local := localObjects(pass, rs)
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // declares iteration-locals
+			}
+			for _, lhs := range s.Lhs {
+				if !orderFreeLvalue(pass, lhs, local) {
+					reason = fmt.Sprintf("writes to %s, which is not a map or an iteration-local", exprString(lhs))
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !orderFreeLvalue(pass, s.X, local) {
+				reason = fmt.Sprintf("writes to %s, which is not a map or an iteration-local", exprString(s.X))
+				return false
+			}
+		case *ast.ReturnStmt:
+			reason = "returns from inside the iteration (the result depends on which key comes first)"
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				reason = fmt.Sprintf("%ss out of the iteration (the effect depends on which key comes first)", s.Tok)
+				return false
+			}
+		case *ast.SendStmt:
+			reason = "sends on a channel in map order"
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// localObjects collects the objects declared inside the loop —
+// including the range key/value variables — whose mutation is
+// iteration-local and therefore order-free.
+func localObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	if rs.Tok == token.DEFINE {
+		if rs.Key != nil {
+			add(rs.Key)
+		}
+		if rs.Value != nil {
+			add(rs.Value)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for _, lhs := range s.Lhs {
+					add(lhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				add(name)
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// orderFreeLvalue reports whether writing to lhs inside a map-ordered
+// loop is order-independent: the blank identifier, an index into a map
+// (set/multiset insertion commutes), or any lvalue rooted at a
+// variable declared inside the loop.
+func orderFreeLvalue(pass *Pass, lhs ast.Expr, local map[types.Object]bool) bool {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if t := pass.Pkg.Info.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+	}
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			return local[pass.Pkg.Info.ObjectOf(e)]
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortFollows reports whether any statement after the range loop (in
+// its innermost enclosing block) calls into package sort or a
+// slices.Sort* function — the "accumulate then sort" idiom that makes
+// map-ordered accumulation deterministic again.
+func sortFollows(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	// Find the innermost enclosing block and the top-level statement
+	// within it that contains the loop (the loop may be nested in an
+	// if/for inside that block).
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		holder := ast.Node(rs)
+		if i+1 < len(stack) {
+			holder = stack[i+1]
+		}
+		for j, stmt := range block.List {
+			if stmt != holder {
+				continue
+			}
+			for _, after := range block.List[j+1:] {
+				if callsSort(pass, after) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+// callsSort reports whether n contains a call into package sort, or a
+// slices function whose name starts with "Sort".
+func callsSort(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(fn.Name(), "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Report is the machine-readable doralint output (doralint -json and
+// the LINT_REPORT.json CI artifact). Every rule of the suite appears,
+// including clean ones, so the report trajectory is diffable across
+// PRs the way the BENCH_*.json files are.
+type Report struct {
+	Tool   string        `json:"tool"`
+	Module string        `json:"module"`
+	Total  int           `json:"total"`
+	Rules  []RuleSummary `json:"rules"`
+}
+
+// RuleSummary is one rule's findings.
+type RuleSummary struct {
+	Rule      string   `json:"rule"`
+	Count     int      `json:"count"`
+	Locations []string `json:"locations,omitempty"`
+}
+
+// NewReport aggregates diagnostics by rule. Rules run by the suite but
+// clean on this tree are listed with a zero count.
+func NewReport(mod *Module, analyzers []*Analyzer, diags []Diagnostic) *Report {
+	byRule := map[string][]string{}
+	for _, a := range analyzers {
+		byRule[a.Name] = nil
+	}
+	byRule[RuleAllow] = nil
+	for _, d := range diags {
+		loc := fmt.Sprintf("%s:%d:%d: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+		byRule[d.Rule] = append(byRule[d.Rule], loc)
+	}
+	rules := make([]string, 0, len(byRule))
+	for r := range byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	rep := &Report{Tool: "doralint", Module: mod.Path, Total: len(diags)}
+	for _, r := range rules {
+		rep.Rules = append(rep.Rules, RuleSummary{Rule: r, Count: len(byRule[r]), Locations: byRule[r]})
+	}
+	return rep
+}
+
+// JSON renders the report with stable formatting and a trailing
+// newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetrySafe keeps the disabled-telemetry fast path free of
+// formatting work: arguments at telemetry call sites are evaluated
+// before the helper can check whether telemetry is even enabled, so a
+// fmt.Sprintf or string concatenation in the argument list allocates
+// on every call forever, telemetry on or off. Calls lexically guarded
+// by a nil check on a telemetry handle (`if tr != nil { ... }`) are
+// exempt — there the caller already proved telemetry is live.
+var TelemetrySafe = &Analyzer{
+	Name: RuleTelemetrySafe,
+	Doc: "telemetry helpers may not take fmt.Sprint*'d or concatenated string " +
+		"arguments at unguarded call sites",
+	Run: runTelemetrySafe,
+}
+
+// sprintNames are the fmt formatters whose results allocate.
+var sprintNames = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true, "Errorf": true,
+}
+
+func runTelemetrySafe(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil || pathBase(fn.Pkg().Path()) != "telemetry" {
+				return true
+			}
+			if telemetryGuarded(pass, stack) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if what := formattedArg(pass, arg); what != "" {
+					pass.Reportf(arg.Pos(),
+						"%s argument to telemetry helper %s formats and allocates even when telemetry is disabled; guard the call with a nil check on the telemetry handle or precompute the value once",
+						what, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formattedArg classifies an argument expression that does formatting
+// work at the call site; it returns "" for anything else.
+func formattedArg(pass *Pass, arg ast.Expr) string {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if fn := pass.Callee(e); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "fmt" && sprintNames[fn.Name()] {
+			return "fmt." + fn.Name()
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && pass.isString(e.X) {
+			return "string-concatenation"
+		}
+	}
+	return ""
+}
+
+// telemetryGuarded reports whether some enclosing if statement's
+// condition proves a telemetry handle is non-nil (`x != nil` where x
+// has a type declared in the telemetry package).
+func telemetryGuarded(pass *Pass, stack []ast.Node) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.NEQ {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+				if isNilIdent(pair[1]) && isTelemetryType(pass.Pkg.Info.TypeOf(pair[0])) {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isTelemetryType reports whether t (possibly behind pointers or an
+// alias) is a type declared in a package named "telemetry".
+func isTelemetryType(t types.Type) bool {
+	for {
+		t = types.Unalias(t)
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "telemetry"
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package cache is a lint fixture exercising every construct the
+// hotpath analyzer bans, plus one suppressed finding.
+package cache
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func drop() {}
+
+// zoo packs one of each banned construct into a marked function.
+//
+//dora:hotpath
+func zoo(n int, a, b string) string {
+	m := make([]int, 4) // want `hotpath: make in //dora:hotpath function zoo`
+	q := new(point)     // want `hotpath: new in //dora:hotpath function zoo`
+	var xs []int
+	xs = append(xs, n)           // want `hotpath: append .may grow the backing array. in //dora:hotpath function zoo`
+	p := point{1, 2}             // want `hotpath: composite literal in //dora:hotpath function zoo`
+	f := func() int { return 1 } // want `hotpath: closure in //dora:hotpath function zoo`
+	defer drop()                 // want `hotpath: defer in //dora:hotpath function zoo`
+	go drop()                    // want `hotpath: go statement in //dora:hotpath function zoo`
+	s := fmt.Sprintf("%d", n)    // want `hotpath: call to fmt.Sprintf in //dora:hotpath function zoo`
+	s2 := a + b                  // want `hotpath: string concatenation in //dora:hotpath function zoo`
+	s2 += a                      // want `hotpath: string concatenation in //dora:hotpath function zoo`
+	_, _, _, _, _ = m, q, xs, p, f
+	return s + s2 // want `hotpath: string concatenation in //dora:hotpath function zoo`
+}
+
+// suppressed shows the escape hatch: a justified allocation stays,
+// annotated in place.
+//
+//dora:hotpath
+func suppressed() []byte {
+	return make([]byte, 8) //doralint:allow hotpath cold error path, runs at most once per campaign
+}
+
+// unmarked is identical to zoo's worst line but carries no marker, so
+// the analyzer must stay silent.
+func unmarked(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,24 @@
+// Package sim is a lint fixture for the telemetrysafe analyzer:
+// formatting in a telemetry argument list runs whether or not
+// telemetry is enabled, unless the call sits under a nil check on the
+// telemetry handle.
+package sim
+
+import (
+	"fmt"
+
+	"fixture/telemetry"
+)
+
+func report(tr *telemetry.Tracer, page string, n int) {
+	telemetry.Emit(fmt.Sprintf("load:%d", n)) // want `telemetrysafe: fmt.Sprintf argument to telemetry helper Emit formats and allocates even when telemetry is disabled`
+	telemetry.Emit("load:" + page)            // want `telemetrysafe: string-concatenation argument to telemetry helper Emit formats and allocates even when telemetry is disabled`
+	if tr != nil {
+		// Guarded: the nil check proves telemetry is live, so the
+		// formatting only happens when it is actually consumed.
+		tr.Span(fmt.Sprintf("load:%s", page))
+		telemetry.Emit("page:" + page)
+	}
+	// Plain arguments are always fine, guarded or not.
+	telemetry.Emit(page)
+}

@@ -1,0 +1,15 @@
+// Package telemetry is a stub mirroring the real telemetry API shape:
+// a handle type (nil when telemetry is disabled) and a package-level
+// helper. The telemetrysafe analyzer matches callees by the package
+// base name, so this fixture package triggers it exactly like the real
+// one.
+package telemetry
+
+// Tracer is the handle callers nil-check on the fast path.
+type Tracer struct{ spans int }
+
+// Span records a named span.
+func (t *Tracer) Span(name string) { t.spans++ }
+
+// Emit records a free-form event.
+func Emit(event string) {}

@@ -1,0 +1,71 @@
+// Package train is a lint fixture for the maporder analyzer: loops
+// over maps that feed observables in iteration order are flagged,
+// while map-to-map rebuilds, iteration-local work, and the
+// accumulate-then-sort idiom stay legal.
+package train
+
+import "sort"
+
+// collect is the classic silent fingerprint-breaker: the slice comes
+// out in map order and nothing re-sorts it.
+func collect(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `maporder: map iteration order is randomized and this loop writes to keys, which is not a map or an iteration-local`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys accumulates in map order but sorts before anything can
+// observe the order — legal.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// invert writes only into another map; insertion order cannot be
+// observed — legal.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// anyAbove returns from inside the iteration, so which key wins
+// depends on iteration order.
+func anyAbove(m map[int]float64, cut float64) (int, bool) {
+	for k, v := range m { // want `maporder: map iteration order is randomized and this loop returns from inside the iteration`
+		if v > cut {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// validate only touches iteration-local variables — legal.
+func validate(m map[int]float64) {
+	for k, v := range m {
+		scaled := v * 2
+		if scaled < 0 {
+			panic("negative residency")
+		}
+		_ = k
+	}
+}
+
+// total shows a justified suppression: integer addition commutes, so
+// the map-ordered accumulation is order-free.
+func total(m map[int]int) int {
+	sum := 0
+	//doralint:allow maporder integer addition commutes; order cannot be observed
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

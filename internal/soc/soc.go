@@ -608,6 +608,8 @@ func (m *Machine) FlushTrace() {
 // advanceCore runs core i for up to budget nanoseconds of local time.
 // All work is split at budget boundaries, so busy/idle accounting stays
 // exactly aligned with wall-clock quanta.
+//
+//dora:hotpath
 func (m *Machine) advanceCore(i int, budget int64) {
 	c := &m.cores[i]
 	// The OPP cannot change mid-call (SetOPP runs between Step calls),
@@ -794,6 +796,8 @@ func (c *coreState) segPosAdvance(base uint64, n uint64) uint64 {
 // per-core reference batch, refilled (and L1-probed in bulk) when
 // drained; shared-L2 and bus traffic still happen here, at issue time,
 // preserving the global L2/bus access order across cores.
+//
+//dora:hotpath
 func (m *Machine) access(core int, c *coreState) int64 {
 	if c.blkPos == c.blkLen {
 		n := min(int64(refBlock), c.genRem)
@@ -824,10 +828,6 @@ func (m *Machine) access(core int, c *coreState) int64 {
 	}
 	return m.missStallNs[patIdx(c.seg.Pattern)]
 }
-
-// mlpFor returns the memory-level-parallelism divisor for a pattern,
-// via the lookup table built at New.
-func (m *Machine) mlpFor(p workload.Pattern) float64 { return m.mlpTab[patIdx(p)] }
 
 // patIdx maps a pattern to its mlpTab/missStallNs index; values outside
 // the known patterns get pointer-chase semantics, matching the former

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"dora/internal/core"
@@ -318,7 +319,16 @@ func Fit(obs []Observation, static core.StaticPower, refTempC float64) (*core.Mo
 	lt := core.NewPiecewise()
 	dp := core.NewPiecewise()
 	linTerms := regress.Linear.TermCount(len(feat))
-	for bus, group := range byBus {
+	// Fit tiers in ascending bus order: the per-tier fits are
+	// independent, but on failure the error that surfaces (and any
+	// future per-tier diagnostics) must not depend on map order.
+	buses := make([]int, 0, len(byBus))
+	for bus := range byBus {
+		buses = append(buses, bus)
+	}
+	sort.Ints(buses)
+	for _, bus := range buses {
+		group := byBus[bus]
 		// A tier too sparse even for the linear surface pools the full
 		// observation set instead (reduced campaigns only).
 		if len(group) < linTerms+2 {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# lint_report.sh — refresh LINT_REPORT.json, the machine-readable
+# doralint summary committed at the repo root.
+#
+# The report lists every rule of the suite with its finding count and
+# locations (zero-count rules included), so the lint trajectory is
+# diffable across PRs the way the BENCH_*.json files are. CI runs this
+# after the gating doralint pass and uploads the result as an artifact;
+# a non-empty diff on a clean tree means the analyzers changed, not the
+# code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-LINT_REPORT.json}"
+
+# doralint exits 1 when it has findings; the report should be written
+# either way, so the exit code is captured rather than fatal.
+status=0
+go run ./cmd/doralint -json ./... >"$out" || status=$?
+if [ "$status" -ge 2 ]; then
+  echo "error: doralint failed (exit $status)" >&2
+  exit "$status"
+fi
+echo "wrote $out (doralint exit $status)" >&2
