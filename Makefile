@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 serve-test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,20 @@ lint:
 # PRs the way the BENCH_*.json files are.
 lint-report:
 	scripts/lint_report.sh
+
+# End-to-end daemon suite: every dorad endpoint driven over real HTTP
+# (httptest) with the race detector watching the admission queue,
+# singleflight dedup, and drain machinery. Includes the serve-path
+# golden campaign fingerprint (not -short).
+serve-test:
+	$(GO) test -race -v ./internal/serve/
+
+# 30 s of coverage-guided fuzzing per committed target: the request
+# decoder and the run-cache loader. Seed corpora live under each
+# package's testdata/fuzz/ and replay in plain `go test` runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadRequestDecode$$' -fuzztime 30s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzRunCacheEntry$$' -fuzztime 30s ./internal/runcache/
 
 # Record the PR 2 performance trajectory (suite-build speedup and
 # telemetry overhead) into BENCH_PR2.json.

@@ -1,0 +1,132 @@
+// Command dorad serves the DORA simulator over HTTP: page-load
+// simulations (POST /v1/load), measurement-campaign grids
+// (POST /v1/campaign), corpus discovery (GET /v1/pages), Prometheus
+// metrics (GET /metrics), and a drain-aware health check
+// (GET /healthz).
+//
+// The daemon applies backpressure (429 + Retry-After when the bounded
+// admission queue fills), deduplicates identical in-flight requests
+// onto one simulation, serves repeats from the persistent run cache,
+// and on SIGINT/SIGTERM drains gracefully: in-flight simulations run
+// to completion while new requests are refused with 503.
+//
+// Usage:
+//
+//	dorad [-addr :8077] [-models models.json] [-runcache cache.json]
+//	      [-workers N] [-concurrency N] [-queue N]
+//	      [-timeout 30s] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dora/internal/core"
+	"dora/internal/pool"
+	"dora/internal/runcache"
+	"dora/internal/serve"
+	"dora/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dorad: ")
+	addr := flag.String("addr", ":8077", "listen address")
+	modelsPath := flag.String("models", "", "trained models JSON; enables the DORA/DL/EE governors")
+	cachePath := flag.String("runcache", "", "persistent run cache file (saved on shutdown)")
+	workers := flag.Int("workers", 0, "campaign fan-out width (0 = one per CPU or $DORA_WORKERS)")
+	concurrency := flag.Int("concurrency", 0, "requests simulated at once (0 = serve default)")
+	queue := flag.Int("queue", 0, "admitted requests waiting beyond -concurrency before 429 (0 = serve default)")
+	timeout := flag.Duration("timeout", 0, "default per-request processing deadline when the request sets no timeout_ms (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight simulations")
+	flag.Parse()
+
+	nworkers, err := pool.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var models *core.Models
+	if *modelsPath != "" {
+		data, err := os.ReadFile(*modelsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var m core.Models
+		if err := json.Unmarshal(data, &m); err != nil {
+			log.Fatalf("parse %s: %v", *modelsPath, err)
+		}
+		models = &m
+	}
+
+	var cache *runcache.Cache
+	if *cachePath != "" {
+		cache, err = runcache.Open(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("run cache %s: %d entries", *cachePath, cache.Len())
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Models:         models,
+		Workers:        nworkers,
+		Concurrency:    *concurrency,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		Cache:          cache,
+		Metrics:        telemetry.NewRegistry(),
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d, models=%v, cache=%v)",
+		*addr, nworkers, models != nil, cache != nil)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("%s: draining (up to %s)...", sig, *drainTimeout)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Drain order: refuse new simulation work first, then let the HTTP
+	// server wait out open connections (whose handlers finish their
+	// simulations), then mop up detached flight leaders.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.BeginDrain()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v (forcing)", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if cache != nil {
+		if err := cache.Save(); err != nil {
+			log.Print(err)
+		}
+		hits, misses, stores := cache.Stats()
+		fmt.Printf("run cache %s: %d hits, %d misses, %d new entries\n",
+			cache.Path(), hits, misses, stores)
+	}
+}

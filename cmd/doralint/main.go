@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"dora/internal/lint"
+	"dora/internal/pool"
 )
 
 func main() {
@@ -33,6 +34,14 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// Shared workers validation: doralint has no fan-out of its own, but
+	// a malformed $DORA_WORKERS should fail loudly here too instead of
+	// silently falling back in whatever command runs next.
+	if _, err := pool.ResolveWorkers(0); err != nil {
+		fmt.Fprintln(os.Stderr, "doralint:", err)
+		os.Exit(2)
+	}
 
 	mod, err := lint.LoadModule(*dir)
 	if err != nil {

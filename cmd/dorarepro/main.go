@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dora"
+	"dora/internal/pool"
 )
 
 func main() {
@@ -29,6 +30,11 @@ func main() {
 	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-simulated runs")
 	flag.Parse()
 
+	nworkers, err := pool.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
 		want[strings.TrimSpace(strings.ToLower(f))] = true
@@ -37,7 +43,6 @@ func main() {
 
 	var cache *dora.RunCache
 	if *cachePath != "" {
-		var err error
 		cache, err = dora.OpenRunCache(*cachePath)
 		if err != nil {
 			log.Fatal(err)
@@ -50,7 +55,7 @@ func main() {
 		Device:  dora.DefaultDevice(),
 		Seed:    *seed,
 		Fast:    !*full,
-		Workers: *workers,
+		Workers: nworkers,
 		Cache:   cache,
 	})
 	if err != nil {

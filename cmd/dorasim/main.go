@@ -23,6 +23,7 @@ import (
 	"dora"
 	"dora/internal/asciichart"
 	"dora/internal/core"
+	"dora/internal/pool"
 	"dora/internal/profiling"
 	"dora/internal/runcache"
 	"dora/internal/sim"
@@ -49,6 +50,13 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	list := flag.Bool("list", false, "list pages and kernels, then exit")
 	flag.Parse()
+
+	// dorasim runs a single load, but a malformed $DORA_WORKERS is still
+	// a configuration error the user should hear about up front, through
+	// the same validator every command shares.
+	if _, err := pool.ResolveWorkers(0); err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {

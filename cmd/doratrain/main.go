@@ -17,6 +17,7 @@ import (
 
 	"dora"
 	"dora/internal/core"
+	"dora/internal/pool"
 	"dora/internal/profiling"
 	"dora/internal/stats"
 	"dora/internal/tablefmt"
@@ -36,6 +37,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	nworkers, err := pool.ResolveWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -64,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 		var static core.StaticPower
-		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache})
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +80,7 @@ func main() {
 		}
 	} else {
 		fmt.Println("running measurement campaign (this simulates hundreds of page loads)...")
-		tc := train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache}
+		tc := train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache}
 		if *fast {
 			tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
 			tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}
@@ -91,7 +97,7 @@ func main() {
 			fmt.Printf("campaign observations written to %s\n", *obsOut)
 		}
 		var static core.StaticPower
-		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: *workers, Cache: cache})
+		static, err = train.FitStatic(train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}

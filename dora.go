@@ -36,6 +36,7 @@
 package dora
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -264,6 +265,16 @@ type LoadOptions struct {
 
 // LoadPage performs one end-to-end measured page load.
 func LoadPage(opts LoadOptions) (Result, error) {
+	return LoadPageContext(context.Background(), opts)
+}
+
+// LoadPageContext is LoadPage with cooperative cancellation: a
+// cancelled or deadline-expired context aborts the simulation promptly
+// and returns an error wrapping ctx.Err(). A run that completes is
+// bit-identical to LoadPage with the same options — cancellation can
+// only abort, never perturb. This is the entry point the dorad daemon
+// uses to honor per-request deadlines.
+func LoadPageContext(ctx context.Context, opts LoadOptions) (Result, error) {
 	spec, err := webgen.ByName(opts.Page)
 	if err != nil {
 		return Result{}, err
@@ -279,7 +290,7 @@ func LoadPage(opts LoadOptions) (Result, error) {
 	if opts.Governor == nil {
 		return Result{}, fmt.Errorf("dora: nil governor")
 	}
-	return sim.LoadPage(sim.Options{
+	return sim.LoadPageCtx(ctx, sim.Options{
 		SoC:              opts.Device,
 		Governor:         opts.Governor,
 		Deadline:         opts.Deadline,

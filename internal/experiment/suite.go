@@ -12,6 +12,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -215,43 +217,66 @@ type RunOptions struct {
 // its flight — which is what makes naive Prefetch lists (that may
 // repeat an option) cost one simulation per distinct option.
 func (s *Suite) Run(o RunOptions) (sim.Result, error) {
+	return s.RunCtx(context.Background(), o)
+}
+
+// RunCtx is Run with cooperative cancellation. The leader propagates
+// its context into the simulator, so an expired deadline aborts the
+// measurement promptly; a waiter whose own context dies stops waiting
+// and returns its ctx.Err(). When a leader is cancelled mid-flight,
+// waiters with live contexts retry the measurement rather than
+// inheriting the leader's cancellation, so one impatient caller never
+// poisons the memo for the rest.
+func (s *Suite) RunCtx(ctx context.Context, o RunOptions) (sim.Result, error) {
 	if o.Deadline == 0 {
 		o.Deadline = Deadline
 	}
-	s.mu.Lock()
-	if r, ok := s.cache[o]; ok {
+	for {
+		s.mu.Lock()
+		if r, ok := s.cache[o]; ok {
+			s.mu.Unlock()
+			s.Metrics.Counter("dora_suite_cache_hits_total", "memoized measurements served from cache").Inc()
+			return r, nil
+		}
+		if fl, ok := s.inflight[o]; ok {
+			s.mu.Unlock()
+			s.Metrics.Counter("dora_suite_inflight_dedup_total", "duplicate concurrent measurements coalesced").Inc()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+			// A leader aborted by its own context does not speak for
+			// this caller: retry while our context is still live.
+			if fl.err != nil && ctx.Err() == nil &&
+				(errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) {
+				continue
+			}
+			return fl.r, fl.err
+		}
+		fl := &flight{done: make(chan struct{})}
+		if s.inflight == nil {
+			s.inflight = map[RunOptions]*flight{}
+		}
+		s.inflight[o] = fl
 		s.mu.Unlock()
-		s.Metrics.Counter("dora_suite_cache_hits_total", "memoized measurements served from cache").Inc()
-		return r, nil
-	}
-	if fl, ok := s.inflight[o]; ok {
-		s.mu.Unlock()
-		s.Metrics.Counter("dora_suite_inflight_dedup_total", "duplicate concurrent measurements coalesced").Inc()
-		<-fl.done
-		return fl.r, fl.err
-	}
-	fl := &flight{done: make(chan struct{})}
-	if s.inflight == nil {
-		s.inflight = map[RunOptions]*flight{}
-	}
-	s.inflight[o] = fl
-	s.mu.Unlock()
 
-	r, err := s.measure(o)
-	fl.r, fl.err = r, err
-	s.mu.Lock()
-	delete(s.inflight, o)
-	if err == nil {
-		s.cache[o] = r
+		r, err := s.measure(ctx, o)
+		fl.r, fl.err = r, err
+		s.mu.Lock()
+		delete(s.inflight, o)
+		if err == nil {
+			s.cache[o] = r
+		}
+		s.mu.Unlock()
+		close(fl.done)
+		return r, err
 	}
-	s.mu.Unlock()
-	close(fl.done)
-	return r, err
 }
 
 // measure performs the actual measurement for normalized options,
 // consulting the persistent run cache first.
-func (s *Suite) measure(o RunOptions) (sim.Result, error) {
+func (s *Suite) measure(ctx context.Context, o RunOptions) (sim.Result, error) {
 	var key string
 	if s.RunCache != nil {
 		key = runcache.Key("suite-run", s.fingerprint(), s.Seed, o)
@@ -303,7 +328,7 @@ func (s *Suite) measure(o RunOptions) (sim.Result, error) {
 	} else if o.AmbientC != 0 && o.AmbientC < 20 {
 		opts.StartTempC = o.AmbientC + 2
 	}
-	r, err := sim.LoadPage(opts, wl)
+	r, err := sim.LoadPageCtx(ctx, opts, wl)
 	if err != nil {
 		return sim.Result{}, err
 	}

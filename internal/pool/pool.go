@@ -14,6 +14,7 @@
 package pool
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -27,7 +28,10 @@ import (
 const EnvWorkers = "DORA_WORKERS"
 
 // DefaultSize returns the default fan-out width: EnvWorkers when set
-// to a positive integer, otherwise runtime.NumCPU.
+// to a positive integer, otherwise runtime.NumCPU. Malformed
+// environment values silently fall back here (library call sites must
+// never fail on a bad environment); commands validate the same inputs
+// up front through ResolveWorkers so the user gets an error instead.
 func DefaultSize() int {
 	if s := os.Getenv(EnvWorkers); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
@@ -35,6 +39,36 @@ func DefaultSize() int {
 		}
 	}
 	return runtime.NumCPU()
+}
+
+// ResolveWorkers validates a -workers flag value against the
+// DORA_WORKERS environment override and returns the effective pool
+// width. It is the shared front door for every command (dorasim,
+// doratrain, dorarepro, doralint, dorad): a negative flag value, or an
+// environment override that is non-numeric or <= 0, is a configuration
+// error reported to the user rather than silently replaced by a
+// default.
+//
+// Resolution order: flag > 0 wins; flag == 0 defers to DORA_WORKERS
+// when set; otherwise one worker per CPU.
+func ResolveWorkers(flagVal int) (int, error) {
+	if flagVal < 0 {
+		return 0, fmt.Errorf("invalid -workers %d: must be >= 1 (0 = one per CPU or $%s)", flagVal, EnvWorkers)
+	}
+	if flagVal > 0 {
+		return flagVal, nil
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("invalid $%s %q: must be a positive integer", EnvWorkers, s)
+		}
+		if n <= 0 {
+			return 0, fmt.Errorf("invalid $%s %d: must be >= 1", EnvWorkers, n)
+		}
+		return n, nil
+	}
+	return runtime.NumCPU(), nil
 }
 
 // Run invokes fn(i) for every i in [0, n), using at most workers

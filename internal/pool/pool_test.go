@@ -3,6 +3,8 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -108,5 +110,47 @@ func TestRunWorkersDefault(t *testing.T) {
 		if !v {
 			t.Fatalf("slot %d not run", i)
 		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	cpus := runtime.NumCPU()
+	tests := []struct {
+		name    string
+		flag    int
+		env     string // "" = unset
+		want    int
+		wantErr string // substring; "" = no error
+	}{
+		{name: "flag wins", flag: 3, env: "7", want: 3},
+		{name: "flag serial", flag: 1, want: 1},
+		{name: "env when flag auto", flag: 0, env: "5", want: 5},
+		{name: "auto without env", flag: 0, want: cpus},
+		{name: "negative flag", flag: -1, wantErr: "invalid -workers -1"},
+		{name: "negative flag ignores env", flag: -2, env: "4", wantErr: "invalid -workers -2"},
+		{name: "env zero", flag: 0, env: "0", wantErr: "must be >= 1"},
+		{name: "env negative", flag: 0, env: "-3", wantErr: "must be >= 1"},
+		{name: "env non-numeric", flag: 0, env: "many", wantErr: "must be a positive integer"},
+		{name: "env empty string means unset", flag: 0, env: "", want: cpus},
+		{name: "env float", flag: 0, env: "2.5", wantErr: "must be a positive integer"},
+		{name: "positive flag skips bad env", flag: 2, env: "junk", want: 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Setenv(EnvWorkers, tc.env)
+			got, err := ResolveWorkers(tc.flag)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ResolveWorkers(%d) err = %v, want containing %q", tc.flag, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ResolveWorkers(%d): %v", tc.flag, err)
+			}
+			if got != tc.want {
+				t.Fatalf("ResolveWorkers(%d) = %d, want %d", tc.flag, got, tc.want)
+			}
+		})
 	}
 }

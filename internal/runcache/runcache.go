@@ -16,6 +16,7 @@
 package runcache
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -70,10 +71,35 @@ func Open(path string) (*Cache, error) {
 		c.dirty = true
 		return c, nil
 	}
+	// The decoded shape is not trusted: a hand-edited, truncated, or
+	// bit-rotted file can carry entries whose raw value is the JSON
+	// null literal (or otherwise unusable), and json.Unmarshal of
+	// "null" into a struct succeeds without touching it — which would
+	// turn Get into a bogus "hit" serving a zero-valued result. Drop
+	// any such entry here so it is a miss, and rewrite the file.
+	for k, raw := range f.Entries {
+		if !validEntry(raw) {
+			delete(f.Entries, k)
+			c.dirty = true
+		}
+	}
 	if f.Entries != nil {
 		c.entries = f.Entries
 	}
 	return c, nil
+}
+
+// validEntry reports whether raw can serve as a cached value: it must
+// be non-empty valid JSON and not the null literal. json.Unmarshal of
+// null into a struct or slice is a silent no-op, so a null entry would
+// otherwise masquerade as a hit that leaves the caller's value
+// zero-valued.
+func validEntry(raw json.RawMessage) bool {
+	t := bytes.TrimSpace(raw)
+	if len(t) == 0 || bytes.Equal(t, []byte("null")) {
+		return false
+	}
+	return json.Valid(t)
 }
 
 // Len returns the number of stored entries.
@@ -95,7 +121,7 @@ func (c *Cache) Get(key string, v any) bool {
 	c.mu.Lock()
 	raw, ok := c.entries[key]
 	c.mu.Unlock()
-	if !ok {
+	if !ok || !validEntry(raw) {
 		c.misses.Add(1)
 		return false
 	}
@@ -109,14 +135,16 @@ func (c *Cache) Get(key string, v any) bool {
 	return true
 }
 
-// Put stores v under key. Marshal failures (e.g. NaN floats) are
-// swallowed: the run simply is not cached.
+// Put stores v under key. Marshal failures (e.g. NaN floats) and
+// values that encode to JSON null (nil pointers, untyped nil) are
+// swallowed: the run simply is not cached, since a null entry could
+// never be served as a hit.
 func (c *Cache) Put(key string, v any) {
 	if c == nil {
 		return
 	}
 	raw, err := json.Marshal(v)
-	if err != nil {
+	if err != nil || !validEntry(raw) {
 		return
 	}
 	c.mu.Lock()

@@ -169,3 +169,66 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("len = %d", c.Len())
 	}
 }
+
+// TestOpenDropsUnusableEntries is the deterministic regression for the
+// shape-trust bug FuzzRunCacheEntry guards: a cache file whose entry is
+// the JSON null literal used to be reported by Get as a hit while
+// leaving the caller's value untouched — a corrupt or truncated file
+// silently served zero-valued simulation results.
+func TestOpenDropsUnusableEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	content := `{"version":1,"entries":{"nil":null,"ok":{"A":3}," pad":  null }}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct{ A int }
+	v := payload{A: -1}
+	if c.Get("nil", &v) {
+		t.Fatalf("null entry served as a hit: %+v", v)
+	}
+	if v.A != -1 {
+		t.Fatalf("miss mutated the caller's value: %+v", v)
+	}
+	if !c.Get("ok", &v) || v.A != 3 {
+		t.Fatalf("valid sibling entry lost: %+v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (null entries dropped at Open)", c.Len())
+	}
+	// The sanitized view must be persisted even with no new Puts.
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", c2.Len())
+	}
+}
+
+// TestPutNullValueNotCached: storing a value that encodes to JSON null
+// (nil pointer, untyped nil) must be a no-op, not a future bogus hit.
+func TestPutNullValueNotCached(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct{ A int }
+	var p *payload
+	c.Put("k", p)
+	c.Put("j", nil)
+	var v payload
+	if c.Get("k", &v) || c.Get("j", &v) {
+		t.Fatal("null-encoding Put became a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}

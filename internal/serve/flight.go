@@ -1,0 +1,103 @@
+package serve
+
+import "sync"
+
+// flight is one in-progress simulation that duplicate concurrent
+// requests share instead of re-running. The leader executes in a
+// detached goroutine whose context is cancelled only when every
+// interested request has gone away (or the server is force-closed),
+// so one impatient client neither aborts nor leaks work others still
+// want — and an abandoned flight's goroutine always exits.
+type flight struct {
+	done chan struct{} // closed once body/err are final
+
+	// body is the exact response bytes every waiter writes, making N
+	// deduplicated responses byte-identical by construction.
+	body []byte
+	err  *apiError
+
+	// waiters is the number of requests currently interested; guarded
+	// by the owning group's mutex. cancel aborts the simulation context
+	// when it reaches zero before done.
+	waiters int
+	cancel  func()
+}
+
+// flightGroup deduplicates in-flight simulations by cache key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key, creating it (leader == true) when
+// none is in progress. Every join must be paired with a leave.
+func (g *flightGroup) join(key string) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if fl := g.m[key]; fl != nil {
+		fl.waiters++
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{}), waiters: 1}
+	g.m[key] = fl
+	return fl, true
+}
+
+// setCancel publishes the leader's simulation-abort hook. It runs
+// under the group mutex because the flight is visible to other
+// requests from the moment join put it in the map.
+func (g *flightGroup) setCancel(fl *flight, cancel func()) {
+	g.mu.Lock()
+	fl.cancel = cancel
+	g.mu.Unlock()
+}
+
+// leave drops one waiter. If the flight is still running and nobody is
+// left to read the result, the simulation context is cancelled so the
+// leader goroutine exits promptly instead of leaking.
+func (g *flightGroup) leave(fl *flight) {
+	g.mu.Lock()
+	fl.waiters--
+	var cancel func()
+	if fl.waiters == 0 && !fl.finished() {
+		cancel = fl.cancel
+	}
+	g.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// finish publishes the result: the flight is removed from the group
+// first, so a request arriving after a cancelled flight starts a fresh
+// one rather than inheriting a stranger's abort.
+func (g *flightGroup) finish(key string, fl *flight, body []byte, err *apiError) {
+	g.mu.Lock()
+	delete(g.m, key)
+	fl.body, fl.err = body, err
+	g.mu.Unlock()
+	close(fl.done)
+}
+
+// waiting reports the current waiter count for key (0 when no flight
+// is in progress). Test instrumentation.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl := g.m[key]; fl != nil {
+		return fl.waiters
+	}
+	return 0
+}
+
+func (fl *flight) finished() bool {
+	select {
+	case <-fl.done:
+		return true
+	default:
+		return false
+	}
+}

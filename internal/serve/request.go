@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dora/internal/corun"
+	"dora/internal/webgen"
+)
+
+// Error codes carried in the structured error body. The HTTP status is
+// derived from the code, so clients can switch on either.
+const (
+	CodeBadRequest    = "bad_request"     // 400: malformed JSON or invalid field values
+	CodeNotFound      = "not_found"       // 404: unknown page, co-runner, or route
+	CodeMethod        = "method"          // 405: wrong HTTP method
+	CodeQueueFull     = "queue_full"      // 429: admission queue at capacity
+	CodeDraining      = "draining"        // 503: server is shutting down
+	CodeDeadline      = "deadline"        // 504: request deadline expired
+	CodeClientClosed  = "client_closed"   // 499: client went away mid-request
+	CodeInternal      = "internal"        // 500: simulation failure
+	CodeModelRequired = "model_required"  // 400: model-based governor without trained models
+	CodePayloadLarge  = "payload_too_big" // 413: request body over the limit
+)
+
+// apiError is a structured, user-visible request failure.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON envelope every error response carries:
+// {"error":{"code":"...","message":"..."}}.
+type errorBody struct {
+	Err *apiError `json:"error"`
+}
+
+// LoadRequest is the JSON body of POST /v1/load: one measured page
+// load. Durations are integral milliseconds; zero fields take the
+// simulator defaults (3 s QoS deadline, 500 ms warmup, 30 s abort
+// cutoff, governor-appropriate decision interval), so the zero request
+// with just a page is valid and deterministic.
+type LoadRequest struct {
+	// Page is a corpus page name (GET /v1/pages lists them).
+	Page string `json:"page"`
+	// CoRunner is a co-scheduled kernel name; empty = browser alone.
+	CoRunner string `json:"corunner,omitempty"`
+	// Governor selects the frequency policy (default "interactive").
+	// The model-based governors (DORA, DL, EE, DORA_no_lkg) need the
+	// daemon to have been started with trained models.
+	Governor string `json:"governor,omitempty"`
+	// FreqMHz pins a fixed OPP instead of a governor (rounded up to
+	// the nearest ladder step). Only valid with governor "" or "fixed".
+	FreqMHz int `json:"freq_mhz,omitempty"`
+	// DeadlineMs is the QoS load-time target (0 = 3000).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// DecisionIntervalMs overrides the governor cadence (0 = default).
+	DecisionIntervalMs int64 `json:"decision_interval_ms,omitempty"`
+	// WarmupMs is the co-runner-only lead-in (0 = 500).
+	WarmupMs int64 `json:"warmup_ms,omitempty"`
+	// MaxLoadMs aborts a load running past the cutoff (0 = 30000).
+	MaxLoadMs int64 `json:"max_load_ms,omitempty"`
+	// Seed is the simulation seed; equal requests are deduplicated and
+	// byte-identical.
+	Seed int64 `json:"seed,omitempty"`
+	// AmbientC overrides ambient temperature (0 = 25 degC).
+	AmbientC float64 `json:"ambient_c,omitempty"`
+	// TimeoutMs bounds request *processing* (queueing + simulation);
+	// past it the daemon answers 504 and aborts the simulation. 0 takes
+	// the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// CampaignRequest is the JSON body of POST /v1/campaign: the cross
+// product pages x corunners x governors, simulated as one batch. Every
+// cell's seed is derived from the base seed and the cell's grid index
+// — never from execution order — so the response is bit-identical at
+// any worker count.
+type CampaignRequest struct {
+	Pages     []string `json:"pages"`
+	CoRunners []string `json:"corunners,omitempty"` // "" = browser alone; empty list = [""]
+	Governors []string `json:"governors,omitempty"` // empty list = ["interactive"]
+	// DeadlineMs / WarmupMs / Seed apply to every cell (see LoadRequest).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	WarmupMs   int64 `json:"warmup_ms,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	// TimeoutMs bounds the whole batch.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// CampaignCell is one grid cell of a campaign response. Result holds
+// the exact bytes POST /v1/load would have returned for the equivalent
+// single request (same seed), or Error when that cell failed.
+type CampaignCell struct {
+	Page     string          `json:"page"`
+	CoRunner string          `json:"corunner,omitempty"`
+	Governor string          `json:"governor"`
+	Seed     int64           `json:"seed"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    *apiError       `json:"error,omitempty"`
+}
+
+// CampaignResponse is the JSON body answering POST /v1/campaign.
+type CampaignResponse struct {
+	Cells []CampaignCell `json:"cells"`
+}
+
+// campaignSeedStride spaces the grid-derived per-cell seeds so
+// neighboring cells never share RNG streams (the simulator derives
+// secondary streams at seed+1).
+const campaignSeedStride = 1_000_003
+
+// maxDurationMs bounds every duration field: 10 simulated minutes is
+// already far past the 30 s abort cutoff.
+const maxDurationMs = 10 * 60 * 1000
+
+// maxTimeoutMs bounds the request-processing deadline (1 hour).
+const maxTimeoutMs = 60 * 60 * 1000
+
+// maxCampaignCells bounds the expanded grid of one campaign request.
+const maxCampaignCells = 1024
+
+// governorNames are the policies a request may name, mirroring the
+// experiment suite's set plus "fixed" (with freq_mhz).
+var governorNames = []string{
+	"interactive", "performance", "powersave", "ondemand", "conservative",
+	"fixed", "DORA", "DORA_no_lkg", "DL", "EE",
+}
+
+// modelGovernors are the names that need trained models.
+var modelGovernors = map[string]bool{"DORA": true, "DORA_no_lkg": true, "DL": true, "EE": true}
+
+func knownGovernor(name string) bool {
+	for _, g := range governorNames {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeStrict unmarshals one JSON value into v, rejecting unknown
+// fields and trailing content.
+func decodeStrict(data []byte, v any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return errBadRequest("trailing content after JSON body")
+	}
+	return nil
+}
+
+// checkDurationMs validates one millisecond field.
+func checkDurationMs(name string, v int64) *apiError {
+	if v < 0 {
+		return errBadRequest("%s must be >= 0, got %d", name, v)
+	}
+	if v > maxDurationMs {
+		return errBadRequest("%s must be <= %d ms, got %d", name, int64(maxDurationMs), v)
+	}
+	return nil
+}
+
+// DecodeLoadRequest parses and validates a POST /v1/load body,
+// returning the normalized request (canonical page/kernel casing,
+// explicit governor) or a structured error. It never panics on any
+// input — FuzzLoadRequestDecode holds it to that.
+func DecodeLoadRequest(data []byte) (LoadRequest, *apiError) {
+	var req LoadRequest
+	if apiErr := decodeStrict(data, &req); apiErr != nil {
+		return LoadRequest{}, apiErr
+	}
+	return normalizeLoadRequest(req)
+}
+
+// normalizeLoadRequest validates field values and canonicalizes names,
+// so equal workloads produce equal (deduplicable) requests.
+func normalizeLoadRequest(req LoadRequest) (LoadRequest, *apiError) {
+	if req.Page == "" {
+		return LoadRequest{}, errBadRequest("page is required")
+	}
+	spec, err := webgen.ByName(req.Page)
+	if err != nil {
+		return LoadRequest{}, errNotFound("unknown page %q (GET /v1/pages lists the corpus)", req.Page)
+	}
+	req.Page = spec.Name
+	if req.CoRunner != "" {
+		k, err := corun.ByName(req.CoRunner)
+		if err != nil {
+			return LoadRequest{}, errNotFound("unknown co-runner %q (GET /v1/pages lists the kernels)", req.CoRunner)
+		}
+		req.CoRunner = k.Name
+	}
+	switch {
+	case req.FreqMHz < 0:
+		return LoadRequest{}, errBadRequest("freq_mhz must be >= 0, got %d", req.FreqMHz)
+	case req.FreqMHz > 0:
+		if req.Governor != "" && req.Governor != "fixed" {
+			return LoadRequest{}, errBadRequest("freq_mhz conflicts with governor %q; use governor \"fixed\" or omit it", req.Governor)
+		}
+		if req.FreqMHz > 10_000 {
+			return LoadRequest{}, errBadRequest("freq_mhz %d is outside any plausible ladder", req.FreqMHz)
+		}
+		req.Governor = "fixed"
+	case req.Governor == "":
+		req.Governor = "interactive"
+	case req.Governor == "fixed":
+		return LoadRequest{}, errBadRequest("governor \"fixed\" needs freq_mhz > 0")
+	}
+	if !knownGovernor(req.Governor) {
+		return LoadRequest{}, errBadRequest("unknown governor %q (choose from %v)", req.Governor, governorNames)
+	}
+	for _, d := range []struct {
+		name string
+		v    int64
+	}{
+		{"deadline_ms", req.DeadlineMs},
+		{"decision_interval_ms", req.DecisionIntervalMs},
+		{"warmup_ms", req.WarmupMs},
+		{"max_load_ms", req.MaxLoadMs},
+	} {
+		if apiErr := checkDurationMs(d.name, d.v); apiErr != nil {
+			return LoadRequest{}, apiErr
+		}
+	}
+	if req.TimeoutMs < 0 || req.TimeoutMs > maxTimeoutMs {
+		return LoadRequest{}, errBadRequest("timeout_ms must be in [0, %d], got %d", int64(maxTimeoutMs), req.TimeoutMs)
+	}
+	if req.AmbientC < -40 || req.AmbientC > 85 {
+		return LoadRequest{}, errBadRequest("ambient_c must be in [-40, 85], got %g", req.AmbientC)
+	}
+	return req, nil
+}
+
+// DecodeCampaignRequest parses and validates a POST /v1/campaign body
+// and expands its grid into per-cell load requests with grid-derived
+// seeds. The cell order (pages outermost, then corunners, then
+// governors) and each cell's seed depend only on the request, never on
+// scheduling.
+func DecodeCampaignRequest(data []byte) (CampaignRequest, []LoadRequest, *apiError) {
+	var req CampaignRequest
+	if apiErr := decodeStrict(data, &req); apiErr != nil {
+		return CampaignRequest{}, nil, apiErr
+	}
+	if len(req.Pages) == 0 {
+		return CampaignRequest{}, nil, errBadRequest("pages is required and must be non-empty")
+	}
+	if len(req.CoRunners) == 0 {
+		req.CoRunners = []string{""}
+	}
+	if len(req.Governors) == 0 {
+		req.Governors = []string{"interactive"}
+	}
+	n := len(req.Pages) * len(req.CoRunners) * len(req.Governors)
+	if n > maxCampaignCells {
+		return CampaignRequest{}, nil, errBadRequest("grid expands to %d cells, limit %d", n, maxCampaignCells)
+	}
+	if apiErr := checkDurationMs("deadline_ms", req.DeadlineMs); apiErr != nil {
+		return CampaignRequest{}, nil, apiErr
+	}
+	if apiErr := checkDurationMs("warmup_ms", req.WarmupMs); apiErr != nil {
+		return CampaignRequest{}, nil, apiErr
+	}
+	if req.TimeoutMs < 0 || req.TimeoutMs > maxTimeoutMs {
+		return CampaignRequest{}, nil, errBadRequest("timeout_ms must be in [0, %d], got %d", int64(maxTimeoutMs), req.TimeoutMs)
+	}
+	cells := make([]LoadRequest, 0, n)
+	i := int64(0)
+	for _, page := range req.Pages {
+		for _, kern := range req.CoRunners {
+			for _, gov := range req.Governors {
+				cell, apiErr := normalizeLoadRequest(LoadRequest{
+					Page:       page,
+					CoRunner:   kern,
+					Governor:   gov,
+					DeadlineMs: req.DeadlineMs,
+					WarmupMs:   req.WarmupMs,
+					Seed:       req.Seed + i*campaignSeedStride,
+				})
+				if apiErr != nil {
+					return CampaignRequest{}, nil, apiErr
+				}
+				cells = append(cells, cell)
+				i++
+			}
+		}
+	}
+	return req, cells, nil
+}

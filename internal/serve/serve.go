@@ -1,0 +1,675 @@
+// Package serve implements dorad, the simulation-serving daemon: an
+// HTTP/JSON front end (standard library only) that composes the fast
+// simulation kernel, the persistent run cache, the worker pool, and
+// the telemetry registry into a long-running, deadline-aware service.
+//
+// The pipeline for a simulation request mirrors the scheduling problem
+// the simulated governor itself solves — finite capacity, deadlines,
+// and load shedding:
+//
+//	decode/validate -> admission queue (429 + Retry-After when full)
+//	-> singleflight dedup (identical in-flight requests share one
+//	simulation and receive byte-identical bodies) -> persistent
+//	runcache warm hit -> sim.LoadPageCtx under a cancellable context
+//	(per-request deadline -> 504, abandoned flight -> aborted run).
+//
+// Determinism survives the network: responses depend only on the
+// request (device config, page, governor, seed), never on concurrency,
+// queueing order, or cache temperature. Graceful drain refuses new
+// work with 503 while in-flight simulations run to completion.
+//
+// This package is intentionally outside doralint's determinism package
+// set (it reads the wall clock for latency metrics and Retry-After),
+// but its telemetry call sites are held to the telemetrysafe rule like
+// everything else.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/core"
+	"dora/internal/corun"
+	"dora/internal/governor"
+	"dora/internal/pool"
+	"dora/internal/runcache"
+	"dora/internal/sim"
+	"dora/internal/soc"
+	"dora/internal/telemetry"
+	"dora/internal/webgen"
+)
+
+// Config configures a Server. The zero value is usable: Nexus 5
+// device, no models (model-based governors answer 400), defaults for
+// every limit.
+type Config struct {
+	// Device is the simulated device (zero value = soc.NexusFive()).
+	Device soc.Config
+	// DeviceSet forces the zero-valued Device to be used as-is; tests
+	// never need it, NewServer substitutes NexusFive when false and the
+	// device looks unconfigured.
+	DeviceSet bool
+	// Models enables the DORA/DL/EE governors when non-nil.
+	Models *core.Models
+	// Workers bounds campaign-grid fan-out (0 = pool.DefaultSize()).
+	Workers int
+	// Concurrency is the number of requests simulated at once
+	// (default 4). Admitted requests beyond it wait in the queue.
+	Concurrency int
+	// MaxQueue bounds waiting requests beyond Concurrency (default 64);
+	// past it the daemon sheds load with 429 + Retry-After.
+	MaxQueue int
+	// DefaultTimeout bounds request processing when the request does
+	// not set timeout_ms (0 = no implicit deadline).
+	DefaultTimeout time.Duration
+	// RetryAfter is the advisory backoff on 429/503 (default 1 s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Cache, when set, serves repeat requests from disk and records
+	// fresh ones (the same persistent store the CLIs use).
+	Cache *runcache.Cache
+	// Metrics receives request- and simulation-level metrics
+	// (nil = a fresh registry, exposed at GET /metrics).
+	Metrics *telemetry.Registry
+}
+
+// Server is the dorad daemon core: handlers plus the admission,
+// dedup, caching, and drain machinery. Create with NewServer, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg    Config
+	device soc.Config
+	reg    *telemetry.Registry
+	fp     string // device fingerprint, part of every cache key
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	drainMu  sync.RWMutex
+	draining bool
+	reqWG    sync.WaitGroup // admitted HTTP requests
+	simWG    sync.WaitGroup // detached flight leaders
+
+	flights flightGroup
+
+	mRequests      *telemetry.Counter
+	mRejects       *telemetry.Counter
+	mDrainRejects  *telemetry.Counter
+	mDeadline      *telemetry.Counter
+	mDedup         *telemetry.Counter
+	mExecs         *telemetry.Counter
+	mCacheHits     *telemetry.Counter
+	mCacheMisses   *telemetry.Counter
+	mCampaignCells *telemetry.Counter
+	gQueue         *telemetry.Gauge
+	hLatency       *telemetry.Histogram
+
+	// testBeforeSim, when set, runs in the flight leader right before
+	// the simulation starts. Test instrumentation (queue-full and
+	// drain e2e tests park a request here deterministically).
+	testBeforeSim func(key string)
+}
+
+// NewServer builds a ready-to-mount daemon core.
+func NewServer(cfg Config) *Server {
+	if !cfg.DeviceSet && cfg.Device.Cores == 0 {
+		cfg.Device = soc.NexusFive()
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		device:     cfg.Device,
+		reg:        reg,
+		fp:         sim.ConfigFingerprint(cfg.Device),
+		sem:        make(chan struct{}, cfg.Concurrency),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+
+		mRequests:      reg.Counter("dora_serve_requests_total", "simulation requests received (load + campaign)"),
+		mRejects:       reg.Counter("dora_serve_admission_rejects_total", "requests shed with 429 because the admission queue was full"),
+		mDrainRejects:  reg.Counter("dora_serve_drain_rejects_total", "requests refused with 503 during graceful drain"),
+		mDeadline:      reg.Counter("dora_serve_deadline_expired_total", "requests answered 504 after their deadline expired"),
+		mDedup:         reg.Counter("dora_serve_dedup_joins_total", "requests coalesced onto an in-flight identical simulation"),
+		mExecs:         reg.Counter("dora_serve_sim_executions_total", "simulations actually executed (cache misses, after dedup)"),
+		mCacheHits:     reg.Counter("dora_serve_runcache_hits_total", "requests served from the persistent run cache"),
+		mCacheMisses:   reg.Counter("dora_serve_runcache_misses_total", "requests that missed the persistent run cache"),
+		mCampaignCells: reg.Counter("dora_serve_campaign_cells_total", "campaign grid cells simulated"),
+		gQueue:         reg.Gauge("dora_serve_queue_depth", "requests currently admitted (simulating + waiting)"),
+		hLatency:       reg.Histogram("dora_serve_request_seconds", "request latency (seconds)", telemetry.ExponentialBuckets(0.001, 2, 14)),
+	}
+	return s
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/load", s.handleLoad)
+	mux.HandleFunc("/v1/campaign", s.handleCampaign)
+	mux.HandleFunc("/v1/pages", s.handlePages)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, errNotFound("no route %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+// --- lifecycle -------------------------------------------------------
+
+// beginRequest registers one in-flight request unless the server is
+// draining. The RWMutex pairs the draining check with the WaitGroup
+// add, so Drain's Wait can never race a fresh Add-from-zero.
+func (s *Server) beginRequest() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
+}
+
+// BeginDrain flips the server into draining mode: every subsequent
+// simulation request is refused with 503 + Retry-After while already
+// admitted ones keep running. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Drain performs graceful shutdown: refuse new requests, then wait for
+// every in-flight request and detached simulation to finish. If ctx
+// expires first, remaining simulations are force-cancelled and
+// ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		s.simWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-cancels everything (drain without the grace).
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.baseCancel()
+}
+
+// InFlight reports the current admitted-request count (healthz).
+func (s *Server) InFlight() int { return int(s.queued.Load()) }
+
+// --- admission -------------------------------------------------------
+
+// admit applies backpressure: the request either takes a simulation
+// slot, is parked in the bounded wait queue, or is shed. release must
+// be called exactly once when admission succeeded.
+func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
+	n := s.queued.Add(1)
+	s.gQueue.Set(float64(n))
+	if n > int64(s.cfg.Concurrency+s.cfg.MaxQueue) {
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+		s.mRejects.Inc()
+		return nil, &apiError{
+			Status:  http.StatusTooManyRequests,
+			Code:    CodeQueueFull,
+			Message: fmt.Sprintf("admission queue full (%d simulating, %d queue slots)", s.cfg.Concurrency, s.cfg.MaxQueue),
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-s.sem
+				s.gQueue.Set(float64(s.queued.Add(-1)))
+			})
+		}, nil
+	case <-ctx.Done():
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+		return nil, ctxErrToAPI(ctx)
+	}
+}
+
+func ctxErrToAPI(ctx context.Context) *apiError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeDeadline, Message: "request deadline expired"}
+	}
+	return &apiError{Status: 499, Code: CodeClientClosed, Message: "client closed request"}
+}
+
+// --- simulation path -------------------------------------------------
+
+// loadKey derives the cache/dedup key for a normalized load request:
+// device fingerprint + every request field that reaches the simulator.
+func (s *Server) loadKey(req LoadRequest) string {
+	return runcache.Key("serve-load", s.fp, req)
+}
+
+// simulate serves one normalized load request: persistent-cache warm
+// hit, else join (or lead) the singleflight for its key and wait under
+// the request context. The returned body is shared verbatim between
+// every deduplicated waiter.
+func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+	key := s.loadKey(req)
+	if s.cfg.Cache != nil {
+		var r sim.Result
+		if s.cfg.Cache.Get(key, &r) {
+			if b, err := json.Marshal(r); err == nil {
+				s.mCacheHits.Inc()
+				return b, "cache", nil
+			}
+		}
+		s.mCacheMisses.Inc()
+	}
+	for attempt := 0; ; attempt++ {
+		fl, leader := s.flights.join(key)
+		if leader {
+			simCtx, cancel := context.WithCancel(s.baseCtx)
+			s.flights.setCancel(fl, cancel)
+			s.simWG.Add(1)
+			go s.runFlight(key, fl, simCtx, cancel, req)
+		} else {
+			s.mDedup.Inc()
+		}
+		select {
+		case <-fl.done:
+			s.flights.leave(fl)
+			// A flight aborted because all of its previous waiters
+			// vanished says nothing about this still-live request:
+			// retry with a fresh flight (bounded, in case the server
+			// itself is closing).
+			if fl.err != nil && fl.err.Code == CodeAborted && ctx.Err() == nil &&
+				s.baseCtx.Err() == nil && attempt < 3 {
+				continue
+			}
+			src := "sim"
+			if !leader {
+				src = "dedup"
+			}
+			return fl.body, src, fl.err
+		case <-ctx.Done():
+			s.flights.leave(fl)
+			return nil, "", ctxErrToAPI(ctx)
+		}
+	}
+}
+
+// CodeAborted marks a flight whose simulation was cancelled because
+// every waiter left (or the server force-closed); requests never see
+// it directly — simulate retries or maps it.
+const CodeAborted = "aborted"
+
+// runFlight is the singleflight leader: it executes the simulation
+// under simCtx (cancelled when the last waiter leaves or the server
+// closes), stores the result in the persistent cache, and publishes
+// the encoded body.
+func (s *Server) runFlight(key string, fl *flight, simCtx context.Context, cancel context.CancelFunc, req LoadRequest) {
+	defer s.simWG.Done()
+	defer cancel()
+	if hook := s.testBeforeSim; hook != nil {
+		hook(key)
+	}
+	s.mExecs.Inc()
+	res, err := s.runSim(simCtx, req)
+	switch {
+	case err == nil:
+		body, merr := json.Marshal(res)
+		if merr != nil {
+			s.flights.finish(key, fl, nil, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode result: " + merr.Error()})
+			return
+		}
+		s.cfg.Cache.Put(key, res)
+		s.flights.finish(key, fl, body, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.flights.finish(key, fl, nil, &apiError{Status: http.StatusServiceUnavailable, Code: CodeAborted, Message: "simulation aborted: " + err.Error()})
+	default:
+		s.flights.finish(key, fl, nil, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()})
+	}
+}
+
+// runSim performs the actual measured load for a normalized request.
+// Every run builds a fresh governor: governors carry decision state,
+// and sharing one across runs would let request order leak into
+// results.
+func (s *Server) runSim(ctx context.Context, req LoadRequest) (sim.Result, error) {
+	gov, interval, apiErr := s.newGovernor(req.Governor, req.FreqMHz)
+	if apiErr != nil {
+		return sim.Result{}, apiErr
+	}
+	spec, err := webgen.ByName(req.Page)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	wl := sim.Workload{Page: spec}
+	if req.CoRunner != "" {
+		k, err := corun.ByName(req.CoRunner)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		wl.CoRun = &k
+	}
+	if req.DecisionIntervalMs > 0 {
+		interval = time.Duration(req.DecisionIntervalMs) * time.Millisecond
+	}
+	return sim.LoadPageCtx(ctx, sim.Options{
+		SoC:              s.device,
+		Governor:         gov,
+		Deadline:         time.Duration(req.DeadlineMs) * time.Millisecond,
+		DecisionInterval: interval,
+		Warmup:           time.Duration(req.WarmupMs) * time.Millisecond,
+		MaxLoadTime:      time.Duration(req.MaxLoadMs) * time.Millisecond,
+		Seed:             req.Seed,
+		AmbientC:         req.AmbientC,
+		Metrics:          s.reg,
+	}, wl)
+}
+
+// newGovernor builds a fresh governor instance by request name,
+// mirroring the experiment suite's constructors (same intervals, same
+// DL margin) so served results match suite-built ones bit for bit.
+func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.Duration, *apiError) {
+	switch name {
+	case "fixed":
+		return governor.NewFixed(s.device.OPPs.Ceil(freqMHz)), 20 * time.Millisecond, nil
+	case "interactive":
+		return governor.NewInteractive(governor.DefaultInteractiveConfig()), 20 * time.Millisecond, nil
+	case "performance":
+		return governor.NewPerformance(), 20 * time.Millisecond, nil
+	case "powersave":
+		return governor.NewPowersave(), 20 * time.Millisecond, nil
+	case "ondemand":
+		return governor.NewOndemand(governor.DefaultOndemandConfig()), 50 * time.Millisecond, nil
+	case "conservative":
+		return governor.NewConservative(governor.DefaultConservativeConfig()), 20 * time.Millisecond, nil
+	}
+	if !modelGovernors[name] {
+		return nil, 0, errBadRequest("unknown governor %q", name)
+	}
+	if s.cfg.Models == nil {
+		return nil, 0, &apiError{Status: http.StatusBadRequest, Code: CodeModelRequired,
+			Message: fmt.Sprintf("governor %q needs trained models; start dorad with -models", name)}
+	}
+	opts := core.Options{UseLeakage: true}
+	switch name {
+	case "DORA":
+		opts.Mode = core.ModeDORA
+	case "DORA_no_lkg":
+		opts.Mode, opts.UseLeakage = core.ModeDORA, false
+	case "DL":
+		opts.Mode, opts.DeadlineMargin = core.ModeDL, 0.93
+	case "EE":
+		opts.Mode = core.ModeEE
+	}
+	g, err := core.New(s.cfg.Models, opts)
+	if err != nil {
+		return nil, 0, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+	}
+	return g, 100 * time.Millisecond, nil
+}
+
+// --- handlers --------------------------------------------------------
+
+// readBody slurps the request body under the configured limit.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Code: CodePayloadLarge,
+				Message: fmt.Sprintf("request body over %d bytes", tooBig.Limit)}
+		}
+		return nil, errBadRequest("read body: %v", err)
+	}
+	return data, nil
+}
+
+// requestCtx applies the request's processing deadline (or the server
+// default) to the connection context.
+func (s *Server) requestCtx(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(timeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
+		return
+	}
+	if !s.beginRequest() {
+		s.writeDrainRefusal(w)
+		return
+	}
+	defer s.reqWG.Done()
+	start := time.Now()
+	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
+	s.mRequests.Inc()
+
+	data, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	req, apiErr := DecodeLoadRequest(data)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	// Surface "model-based governor but no models" as a fast 400
+	// instead of a queued-then-failed simulation.
+	if _, _, apiErr := s.newGovernor(req.Governor, req.FreqMHz); apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	release, apiErr := s.admit(ctx)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+
+	body, source, apiErr := s.simulate(ctx, req)
+	if apiErr != nil {
+		if apiErr.Code == CodeAborted { // e.g. server force-closed mid-run
+			apiErr = &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: apiErr.Message}
+		}
+		s.writeError(w, apiErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dora-Source", source)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
+		return
+	}
+	if !s.beginRequest() {
+		s.writeDrainRefusal(w)
+		return
+	}
+	defer s.reqWG.Done()
+	start := time.Now()
+	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
+	s.mRequests.Inc()
+
+	data, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	_, cells, apiErr := DecodeCampaignRequest(data)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	for _, c := range cells {
+		if _, _, apiErr := s.newGovernor(c.Governor, c.FreqMHz); apiErr != nil {
+			s.writeError(w, apiErr)
+			return
+		}
+	}
+
+	var timeoutMs int64
+	if len(cells) > 0 {
+		// DecodeCampaignRequest carried the batch deadline through the
+		// request struct; recover it from the decoded form.
+		timeoutMs = campaignTimeoutMs(data)
+	}
+	ctx, cancel := s.requestCtx(r, timeoutMs)
+	defer cancel()
+	release, apiErr := s.admit(ctx)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+
+	// The campaign holds one admission slot; its internal fan-out is
+	// bounded by the worker pool, with output written to index-
+	// addressed cells so the response layout never depends on
+	// scheduling.
+	out := make([]CampaignCell, len(cells))
+	_ = pool.Run(len(cells), s.cfg.Workers, func(i int) error {
+		lr := cells[i]
+		out[i] = CampaignCell{Page: lr.Page, CoRunner: lr.CoRunner, Governor: lr.Governor, Seed: lr.Seed}
+		if ctx.Err() != nil {
+			out[i].Error = ctxErrToAPI(ctx)
+			return nil
+		}
+		body, _, apiErr := s.simulate(ctx, lr)
+		if apiErr != nil {
+			out[i].Error = apiErr
+			return nil
+		}
+		out[i].Result = body
+		return nil
+	})
+	if ctx.Err() != nil {
+		s.writeError(w, ctxErrToAPI(ctx))
+		return
+	}
+	s.mCampaignCells.Add(uint64(len(cells)))
+	s.writeJSON(w, http.StatusOK, CampaignResponse{Cells: out})
+}
+
+// campaignTimeoutMs re-reads just the timeout field (the full request
+// was already validated).
+func campaignTimeoutMs(data []byte) int64 {
+	var probe struct {
+		TimeoutMs int64 `json:"timeout_ms"`
+	}
+	_ = json.Unmarshal(data, &probe)
+	return probe.TimeoutMs
+}
+
+func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "GET required"})
+		return
+	}
+	var kernels []string
+	for _, k := range corun.Kernels() {
+		kernels = append(kernels, k.Name)
+	}
+	govs := append([]string(nil), governorNames...)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"pages":          webgen.Names(),
+		"training_pages": webgen.TrainingNames(),
+		"corunners":      kernels,
+		"governors":      govs,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.InFlight(),
+	})
+}
+
+// --- response writing ------------------------------------------------
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeDrainRefusal(w http.ResponseWriter) {
+	s.mDrainRejects.Inc()
+	s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: "server is draining; retry against another instance"})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, apiErr *apiError) {
+	switch apiErr.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds())))
+	case http.StatusGatewayTimeout:
+		s.mDeadline.Inc()
+	}
+	s.writeJSON(w, apiErr.Status, errorBody{Err: apiErr})
+}

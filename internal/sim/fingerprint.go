@@ -48,6 +48,36 @@ func ConfigFingerprint(cfg soc.Config) string {
 // the guardrail behind performance work on the quantum loop: any
 // rewrite must leave this value unchanged.
 func CampaignFingerprint(seed int64) (string, error) {
+	return CampaignFingerprintVia(seed, func(cfg soc.Config, page, kern string, seed int64) (Result, error) {
+		spec, err := webgen.ByName(page)
+		if err != nil {
+			return Result{}, err
+		}
+		wl := Workload{Page: spec}
+		if kern != "" {
+			k, err := corun.ByName(kern)
+			if err != nil {
+				return Result{}, err
+			}
+			wl.CoRun = &k
+		}
+		return LoadPage(Options{
+			SoC:      cfg,
+			Governor: governor.NewInteractive(governor.DefaultInteractiveConfig()),
+			Seed:     seed,
+		}, wl)
+	})
+}
+
+// CampaignFingerprintVia is CampaignFingerprint with the measurement
+// itself pluggable: run receives the device configuration, page and
+// co-runner names, and seed of each campaign cell (governor is always
+// interactive at its default cadence) and returns the cell's result
+// however it likes — in-process, through a cache, or across a network
+// round trip. Any transport that reports the golden fingerprint is
+// proven to reproduce the simulator's observables bit for bit; the
+// serve e2e suite runs the same campaign through HTTP JSON.
+func CampaignFingerprintVia(seed int64, run func(cfg soc.Config, page, kern string, seed int64) (Result, error)) (string, error) {
 	h := sha256.New()
 	type cell struct {
 		page  string
@@ -66,23 +96,7 @@ func CampaignFingerprint(seed int64) (string, error) {
 		if cl.l2LRU {
 			cfg.L2Replacement = cache.LRU
 		}
-		spec, err := webgen.ByName(cl.page)
-		if err != nil {
-			return "", err
-		}
-		wl := Workload{Page: spec}
-		if cl.kern != "" {
-			k, err := corun.ByName(cl.kern)
-			if err != nil {
-				return "", err
-			}
-			wl.CoRun = &k
-		}
-		res, err := LoadPage(Options{
-			SoC:      cfg,
-			Governor: governor.NewInteractive(governor.DefaultInteractiveConfig()),
-			Seed:     seed,
-		}, wl)
+		res, err := run(cfg, cl.page, cl.kern, seed)
 		if err != nil {
 			return "", err
 		}

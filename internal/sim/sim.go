@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -125,6 +126,17 @@ type Result struct {
 // LoadPage runs one page load under the configured governor and
 // returns its measurements.
 func LoadPage(opts Options, wl Workload) (Result, error) {
+	return LoadPageCtx(context.Background(), opts, wl)
+}
+
+// LoadPageCtx is LoadPage with cooperative cancellation: the context is
+// polled once per accounting slice (and during warmup), so a cancelled
+// or deadline-expired context aborts the simulation within one
+// simulated millisecond of wall work and returns ctx.Err() (wrapped;
+// test with errors.Is). Cancellation only ever aborts — it cannot
+// perturb the observables of a run that completes, so results remain
+// bit-identical to LoadPage whenever the context stays live.
+func LoadPageCtx(ctx context.Context, opts Options, wl Workload) (Result, error) {
 	opts.fillDefaults()
 	if opts.Governor == nil {
 		return Result{}, errors.New("sim: nil governor")
@@ -243,6 +255,9 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 
 	// Warmup: the co-runner (if any) runs alone; the governor is live.
 	for m.Now() < opts.Warmup {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: load aborted during warmup: %w", err)
+		}
 		decide(nil, 0)
 		m.Step(opts.DecisionInterval)
 	}
@@ -272,6 +287,9 @@ func LoadPage(opts Options, wl Workload) (Result, error) {
 	var tempN int
 	nextDecision := m.Now() // decide immediately at load start
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: load aborted: %w", err)
+		}
 		if m.CoreDone(BrowserMainCore) && m.CoreDone(BrowserHelperCore) {
 			break
 		}

@@ -80,6 +80,22 @@ func LinearBuckets(start, width float64, count int) []float64 {
 	return out
 }
 
+// ExponentialBuckets returns count buckets where the first upper bound
+// is start and each subsequent bound is factor times the previous.
+// Panics unless start > 0, factor > 1, and count >= 1, mirroring the
+// Prometheus client contract.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

@@ -53,6 +53,33 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %v, want %v (%v)", i, got[i], want[i], got)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBuckets(0, 2, 4) },
+		func() { ExponentialBuckets(1, 1, 4) },
+		func() { ExponentialBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid ExponentialBuckets args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("runs_total", "total runs").Add(3)
