@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 serve-test fuzz-smoke
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve serve-test fuzz-smoke load
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,24 @@ bench-pr2:
 # ns/simulated-ms, allocs/op, speedup vs. seed) into BENCH_PR3.json.
 bench-pr3:
 	scripts/bench_pr3.sh
+
+# Record the serving-path trajectory: doraload drives an in-process
+# dorad and writes schema-checked latency/throughput/provenance
+# numbers to BENCH_SERVE.json. Knobs: DURATION, CONCURRENCY, QPS.
+bench-serve:
+	scripts/bench_serve.sh
+
+# Ad-hoc load generation against a running daemon:
+#   make load TARGET=http://127.0.0.1:8077 [ARGS="-duration 10s -qps 50"]
+# With no TARGET, boots an in-process dorad and drives that.
+TARGET ?=
+ARGS ?=
+load:
+	@if [ -n "$(TARGET)" ]; then \
+		$(GO) run ./cmd/doraload -target "$(TARGET)" $(ARGS); \
+	else \
+		$(GO) run ./cmd/doraload -self $(ARGS); \
+	fi
 
 # The current performance record: re-measures the simulation kernel and
 # refreshes BENCH_PR3.json.

@@ -1,20 +1,28 @@
 // Command dorad serves the DORA simulator over HTTP: page-load
 // simulations (POST /v1/load), measurement-campaign grids
 // (POST /v1/campaign), corpus discovery (GET /v1/pages), Prometheus
-// metrics (GET /metrics), and a drain-aware health check
-// (GET /healthz).
+// metrics (GET /metrics), a JSON process snapshot (GET /debug/vars),
+// and a drain-aware health check (GET /healthz).
 //
-// The daemon applies backpressure (429 + Retry-After when the bounded
-// admission queue fills), deduplicates identical in-flight requests
-// onto one simulation, serves repeats from the persistent run cache,
-// and on SIGINT/SIGTERM drains gracefully: in-flight simulations run
-// to completion while new requests are refused with 503.
+// The daemon applies backpressure (429 + jittered Retry-After when the
+// bounded admission queue fills), deduplicates identical in-flight
+// requests onto one simulation, serves repeats from the persistent run
+// cache, and on SIGINT/SIGTERM drains gracefully: in-flight
+// simulations run to completion while new requests are refused with
+// 503. Shutdown ends with a structured summary of the daemon's whole
+// life: requests served, load shed, dedup joins, cache hits.
+//
+// Observability: every response carries X-Dora-Request-Id (generated,
+// or propagated from the request); -log-level/-log-file emit
+// structured key=value logs including one "access" line per request;
+// -pprof opts into the net/http/pprof endpoints.
 //
 // Usage:
 //
 //	dorad [-addr :8077] [-models models.json] [-runcache cache.json]
 //	      [-workers N] [-concurrency N] [-queue N]
-//	      [-timeout 30s] [-drain-timeout 30s]
+//	      [-timeout 30s] [-drain-timeout 30s] [-pprof]
+//	      [-log-level info,access=warn] [-log-file dorad.log]
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"dora/internal/core"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 	"dora/internal/runcache"
 	"dora/internal/serve"
@@ -48,7 +57,15 @@ func main() {
 	queue := flag.Int("queue", 0, "admitted requests waiting beyond -concurrency before 429 (0 = serve default)")
 	timeout := flag.Duration("timeout", 0, "default per-request processing deadline when the request sets no timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight simulations")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes profiling internals; opt-in)")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("dorad")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
 
 	nworkers, err := pool.ResolveWorkers(*workers)
 	if err != nil {
@@ -85,6 +102,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		Cache:          cache,
 		Metrics:        telemetry.NewRegistry(),
+		Log:            logger,
+		EnablePprof:    *pprof,
 	})
 
 	hs := &http.Server{
@@ -94,14 +113,22 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("listening on %s (workers=%d, models=%v, cache=%v)",
-		*addr, nworkers, models != nil, cache != nil)
+	log.Printf("listening on %s (workers=%d, models=%v, cache=%v, pprof=%v)",
+		*addr, nworkers, models != nil, cache != nil, *pprof)
+	logger.Info().
+		Str("addr", *addr).
+		Int("workers", nworkers).
+		Bool("models", models != nil).
+		Bool("cache", cache != nil).
+		Bool("pprof", *pprof).
+		Msg("listening")
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
 		log.Printf("%s: draining (up to %s)...", sig, *drainTimeout)
+		logger.Info().Str("signal", sig.String()).Dur("drain_timeout_ms", *drainTimeout).Msg("draining")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
@@ -117,14 +144,36 @@ func main() {
 	srv.BeginDrain()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v (forcing)", err)
+		logger.Warn().Err(err).Msg("shutdown forced")
 	}
 	if err := srv.Drain(ctx); err != nil {
 		log.Printf("drain: %v", err)
+		logger.Warn().Err(err).Msg("drain incomplete")
 	}
 	if cache != nil {
 		if err := cache.Save(); err != nil {
 			log.Print(err)
 		}
+	}
+
+	// Lifetime summary: one structured line (grep-able from the log
+	// stream) and a human-readable stdout recap.
+	st := srv.Stats()
+	logger.Info().
+		Uint64("requests", st.Requests).
+		Uint64("admission_rejects", st.AdmissionRejects).
+		Uint64("drain_rejects", st.DrainRejects).
+		Uint64("deadline_expired", st.DeadlineExpired).
+		Uint64("dedup_joins", st.DedupJoins).
+		Uint64("sim_executions", st.SimExecutions).
+		Uint64("cache_hits", st.CacheHits).
+		Uint64("cache_misses", st.CacheMisses).
+		Uint64("campaign_cells", st.CampaignCells).
+		Msg("shutdown summary")
+	fmt.Printf("served %d requests (%d sims, %d dedup joins, %d cache hits, %d campaign cells; shed %d, drain-refused %d, deadline-expired %d)\n",
+		st.Requests, st.SimExecutions, st.DedupJoins, st.CacheHits,
+		st.CampaignCells, st.AdmissionRejects, st.DrainRejects, st.DeadlineExpired)
+	if cache != nil {
 		hits, misses, stores := cache.Stats()
 		fmt.Printf("run cache %s: %d hits, %d misses, %d new entries\n",
 			cache.Path(), hits, misses, stores)

@@ -23,17 +23,26 @@ import (
 	"strings"
 
 	"dora/internal/lint"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable report (LINT_REPORT.json shape) on stdout")
 	dir := flag.String("dir", ".", "directory inside the module to analyze")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: doralint [-json] [-dir D] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("doralint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doralint:", err)
+		os.Exit(2)
+	}
+	defer logCloser.Close()
 
 	// Shared workers validation: doralint has no fan-out of its own, but
 	// a malformed $DORA_WORKERS should fail loudly here too instead of
@@ -45,6 +54,7 @@ func main() {
 
 	mod, err := lint.LoadModule(*dir)
 	if err != nil {
+		logger.Error().Err(err).Str("dir", *dir).Msg("module load failed")
 		fmt.Fprintln(os.Stderr, "doralint:", err)
 		os.Exit(2)
 	}
@@ -54,7 +64,9 @@ func main() {
 	}
 
 	analyzers := lint.Analyzers()
+	logger.Debug().Int("packages", len(mod.Pkgs)).Int("analyzers", len(analyzers)).Msg("analysis starting")
 	diags := lint.Run(mod, analyzers)
+	logger.Info().Int("packages", len(mod.Pkgs)).Int("findings", len(diags)).Msg("analysis complete")
 
 	if *jsonOut {
 		rep := lint.NewReport(mod, analyzers, diags)

@@ -1,0 +1,214 @@
+// Command doraload generates HTTP load against dorad and reports
+// client-observed latency percentiles, throughput, and response
+// provenance (fresh simulation vs. dedup vs. run cache) — the serving
+// companion to the kernel benchmarks, in the spirit of aisloader.
+//
+// Modes:
+//
+//	doraload -target http://host:8077 [-duration 5s] [-c 8] [-qps 50]
+//	    drive an already-running daemon (closed loop by default,
+//	    open loop when -qps is set)
+//	doraload -self [-duration 5s] ...
+//	    start an in-process dorad on a loopback port and drive that;
+//	    used by `make bench-serve` and the CI smoke job so the
+//	    benchmark needs no external daemon
+//	doraload -validate BENCH_SERVE.json
+//	    schema-check a committed report and exit
+//
+// The JSON report (-json) is the BENCH_SERVE.json document; its shape
+// is validated by the same code (-validate) CI runs against the
+// committed file.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"dora/internal/loadgen"
+	"dora/internal/obslog"
+	"dora/internal/runcache"
+	"dora/internal/serve"
+	"dora/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doraload: ")
+
+	target := flag.String("target", "", "base URL of a running dorad (e.g. http://127.0.0.1:8077)")
+	self := flag.Bool("self", false, "start an in-process dorad on a loopback port and drive it")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	concurrency := flag.Int("c", 4, "workers (closed loop) / max in-flight requests (open loop)")
+	qps := flag.Float64("qps", 0, "open-loop arrival rate; 0 = closed loop")
+	campaignFrac := flag.Float64("campaign-frac", 0.1, "fraction of requests issued as campaign grids")
+	repeatFrac := flag.Float64("repeat-frac", 0.4, "fraction of requests repeating an earlier body (exercises dedup + run cache)")
+	pages := flag.String("pages", "Alipay", "comma-separated page mix")
+	governors := flag.String("governors", "interactive", "comma-separated governor mix")
+	seed := flag.Int64("seed", 1, "request-mix seed (same seed = same request sequence)")
+	warmupMs := flag.Int64("warmup-ms", 0, "warmup_ms on every request (0 = daemon default)")
+	maxLoadMs := flag.Int64("max-load-ms", 0, "max_load_ms on every load request (0 = daemon default)")
+	timeoutMs := flag.Int64("timeout-ms", 0, "timeout_ms on every request (0 = none)")
+	jsonOut := flag.String("json", "", "write the BENCH_SERVE report to this file ('-' = stdout)")
+	pr := flag.Int("pr", 6, "PR number stamped into the report")
+	validate := flag.String("validate", "", "schema-check this BENCH_SERVE.json and exit")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := loadgen.ValidateJSON(data); err != nil {
+			log.Fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid %s document\n", *validate, loadgen.Schema)
+		return
+	}
+
+	logger, logCloser, err := logFlags.Open("doraload")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
+
+	baseURL := *target
+	var shutdownSelf func()
+	if *self {
+		if baseURL != "" {
+			log.Fatal("-self and -target are mutually exclusive")
+		}
+		baseURL, shutdownSelf, err = startSelf(logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdownSelf()
+	}
+	if baseURL == "" {
+		log.Fatal("need -target URL or -self (or -validate FILE); see -h")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:      baseURL,
+		Duration:     *duration,
+		Concurrency:  *concurrency,
+		QPS:          *qps,
+		CampaignFrac: *campaignFrac,
+		RepeatFrac:   *repeatFrac,
+		Pages:        splitList(*pages),
+		Governors:    splitList(*governors),
+		Seed:         *seed,
+		WarmupMs:     *warmupMs,
+		MaxLoadMs:    *maxLoadMs,
+		TimeoutMs:    *timeoutMs,
+		Log:          logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.PR = *pr
+	if err := rep.Validate(); err != nil {
+		log.Fatalf("generated report fails its own schema: %v", err)
+	}
+
+	printSummary(&rep)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// startSelf boots an in-process dorad on a loopback port with a
+// throwaway run cache (so -repeat-frac exercises warm hits the same
+// way it would against a long-running daemon) and returns its base
+// URL plus a shutdown func.
+func startSelf(logger *obslog.Logger) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "doraload-self-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cache, err := runcache.Open(filepath.Join(dir, "cache.json"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := serve.NewServer(serve.Config{
+		Cache:   cache,
+		Metrics: telemetry.NewRegistry(),
+		Log:     logger,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("self daemon: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	log.Printf("self daemon on %s (throwaway cache in %s)", base, dir)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.BeginDrain()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("self daemon shutdown: %v", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("self daemon drain: %v", err)
+		}
+		os.RemoveAll(dir)
+	}
+	return base, shutdown, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func printSummary(r *loadgen.Report) {
+	fmt.Printf("target      %s (%s loop", r.Target, r.Mode)
+	if r.QPS > 0 {
+		fmt.Printf(", %.0f qps offered", r.QPS)
+	}
+	fmt.Printf(", c=%d, %.1fs)\n", r.Concurrency, r.DurationS)
+	fmt.Printf("requests    %d (%.1f req/s, %d errors, %d missed ticks)\n",
+		r.Requests, r.ThroughputRPS, r.Errors, r.MissedTicks)
+	fmt.Printf("latency ms  p50=%.2f p90=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P95Ms, r.Latency.P99Ms,
+		r.Latency.MeanMs, r.Latency.MaxMs)
+	fmt.Printf("status      %v\n", r.Status)
+	fmt.Printf("sources     %v (dedup %.1f%%, cache %.1f%%)\n",
+		r.Sources, 100*r.DedupRate, 100*r.CacheHitRate)
+}

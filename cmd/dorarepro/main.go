@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dora"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 )
 
@@ -28,7 +29,14 @@ func main() {
 	figs := flag.String("fig", "all", "comma-separated list: 1,2,3,table3,5,6,7,8,9,10,11,headline,overhead,interval,offlineopt,ablation-piecewise,ablation-replacement,complexity")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = one per CPU or $DORA_WORKERS, 1 = serial)")
 	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-simulated runs")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("dorarepro")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
 
 	nworkers, err := pool.ResolveWorkers(*workers)
 	if err != nil {
@@ -51,6 +59,7 @@ func main() {
 	}
 
 	fmt.Println("training models (simulated measurement campaign)...")
+	logger.Info().Bool("full", *full).Int64("seed", *seed).Int("workers", nworkers).Msg("training campaign starting")
 	suite, err := dora.NewSuiteOpts(dora.SuiteOptions{
 		Device:  dora.DefaultDevice(),
 		Seed:    *seed,
@@ -92,8 +101,10 @@ func main() {
 		if !sel(f.key) {
 			continue
 		}
+		logger.Debug().Str("figure", f.key).Msg("regenerating figure")
 		res, err := f.run()
 		if err != nil {
+			logger.Error().Str("figure", f.key).Err(err).Msg("figure failed")
 			log.Fatalf("figure %s: %v", f.key, err)
 		}
 		fmt.Println(res.Table())

@@ -23,6 +23,7 @@ import (
 	"dora"
 	"dora/internal/asciichart"
 	"dora/internal/core"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 	"dora/internal/profiling"
 	"dora/internal/runcache"
@@ -49,7 +50,14 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	list := flag.Bool("list", false, "list pages and kernels, then exit")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("dorasim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
 
 	// dorasim runs a single load, but a malformed $DORA_WORKERS is still
 	// a configuration error the user should hear about up front, through
@@ -132,14 +140,30 @@ func main() {
 	})
 	opts.Sink = sink
 
+	logger.Debug().
+		Str("page", *page).
+		Str("corunner", *coRun).
+		Str("governor", gov.Name()).
+		Int64("seed", *seed).
+		Bool("cacheable", cacheKey != "").
+		Msg("starting page load")
 	var res dora.Result
 	if cacheKey != "" && cache.Get(cacheKey, &res) {
 		fmt.Printf("run served from cache %s (sparklines need a live run)\n", cache.Path())
+		logger.Info().Str("cache", cache.Path()).Msg("run served from cache")
 	} else {
 		res, err = dora.LoadPage(opts)
 		if err != nil {
+			logger.Error().Err(err).Str("page", *page).Msg("page load failed")
 			log.Fatal(err)
 		}
+		logger.Info().
+			Str("page", res.Page).
+			Str("governor", gov.Name()).
+			Dur("load_time_ms", res.LoadTime).
+			Float("energy_j", res.EnergyJ).
+			Bool("deadline_met", res.DeadlineMet).
+			Msg("page load complete")
 		if cacheKey != "" {
 			cache.Put(cacheKey, res)
 			if err := cache.Save(); err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"dora"
 	"dora/internal/core"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 	"dora/internal/profiling"
 	"dora/internal/stats"
@@ -36,7 +37,14 @@ func main() {
 	cachePath := flag.String("runcache", "", "persistent run cache file; warm caches skip already-measured cells")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("doratrain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
 
 	nworkers, err := pool.ResolveWorkers(*workers)
 	if err != nil {
@@ -80,6 +88,7 @@ func main() {
 		}
 	} else {
 		fmt.Println("running measurement campaign (this simulates hundreds of page loads)...")
+		logger.Info().Bool("fast", *fast).Int64("seed", *seed).Int("workers", nworkers).Msg("measurement campaign starting")
 		tc := train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache}
 		if *fast {
 			tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
@@ -115,6 +124,12 @@ func main() {
 		fmt.Printf("run cache %s: %d hits, %d misses, %d new entries (now %d total)\n",
 			cache.Path(), hits, misses, stores, cache.Len())
 	}
+
+	logger.Info().
+		Int("observations", report.Observations).
+		Float("time_mape_pct", report.TimeMetrics.MAPE*100).
+		Float("power_mape_pct", report.PowerMetrics.MAPE*100).
+		Msg("models fitted")
 
 	t := tablefmt.New("Model accuracy (training set)", "model", "mean_error_pct", "max_error_pct", "n")
 	t.AddRow("load time (interaction surface)", report.TimeMetrics.MAPE*100, report.TimeMetrics.MaxAPE*100, report.Observations)

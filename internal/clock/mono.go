@@ -1,0 +1,81 @@
+package clock
+
+import "time"
+
+// This file is the *serving-path* time source. Unlike Clock (an
+// injectable wall clock for simulation-adjacent measurements), Mono
+// readings are process-monotonic nanosecond ticks: immune to wall
+// clock steps, NTP slews, and leap smearing, which makes them the
+// right basis for request latency histograms and rate limiting —
+// and exactly the wrong input for anything that feeds the campaign
+// fingerprint. The doralint determinism rule bans every clock.Mono*
+// identifier inside the simulation/observable packages so serving
+// latency can never leak into deterministic observables.
+
+// monoBase anchors MonoTime zero at process start. time.Now carries a
+// monotonic reading, and time.Since subtracts on the monotonic part,
+// so ticks derived from it never go backwards.
+var monoBase = time.Now()
+
+// MonoTime is a monotonic reading: nanoseconds since process start.
+// The zero value predates every real reading, so "unset" is testable
+// with t == 0.
+type MonoTime int64
+
+// Sub returns the duration t-u.
+func (t MonoTime) Sub(u MonoTime) time.Duration { return time.Duration(t - u) }
+
+// Nanos returns the reading as raw nanoseconds.
+func (t MonoTime) Nanos() int64 { return int64(t) }
+
+// MonoClock is a monotonic time source. The serving layer takes one
+// as a dependency so latency-sensitive tests can substitute
+// ManualMono and observe exact histogram buckets.
+type MonoClock interface {
+	// MonoNow returns the current monotonic reading.
+	MonoNow() MonoTime
+}
+
+// Mono is the real monotonic clock.
+type Mono struct{}
+
+// MonoNow returns nanoseconds elapsed since process start, measured
+// on the runtime's monotonic clock.
+func (Mono) MonoNow() MonoTime { return MonoTime(time.Since(monoBase)) }
+
+// ManualMono is a test monotonic clock that advances only when told
+// to. The zero value starts at tick 1 (so readings are distinguishable
+// from an unset MonoTime); it is not safe for concurrent use.
+type ManualMono struct {
+	now MonoTime
+}
+
+// MonoNow returns the current manual reading.
+func (m *ManualMono) MonoNow() MonoTime {
+	if m.now == 0 {
+		m.now = 1
+	}
+	return m.now
+}
+
+// Advance moves the clock forward by d.
+func (m *ManualMono) Advance(d time.Duration) {
+	if m.now == 0 {
+		m.now = 1
+	}
+	m.now += MonoTime(d)
+}
+
+// MonoSince returns the duration elapsed on c since start.
+func MonoSince(c MonoClock, start MonoTime) time.Duration {
+	return c.MonoNow().Sub(start)
+}
+
+// MonoOr returns c, or the real Mono clock when c is nil — the idiom
+// for optional MonoClock fields defaulting to real time.
+func MonoOr(c MonoClock) MonoClock {
+	if c == nil {
+		return Mono{}
+	}
+	return c
+}

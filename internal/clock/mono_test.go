@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonoNeverGoesBackwards(t *testing.T) {
+	var c Mono
+	prev := c.MonoNow()
+	for i := 0; i < 1000; i++ {
+		now := c.MonoNow()
+		if now < prev {
+			t.Fatalf("monotonic clock went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestMonoSinceMeasuresElapsed(t *testing.T) {
+	var c Mono
+	start := c.MonoNow()
+	time.Sleep(10 * time.Millisecond)
+	d := MonoSince(c, start)
+	if d < 10*time.Millisecond {
+		t.Fatalf("MonoSince = %v, want >= 10ms", d)
+	}
+	if d > 10*time.Second {
+		t.Fatalf("MonoSince = %v, implausibly large", d)
+	}
+}
+
+func TestManualMono(t *testing.T) {
+	var m ManualMono
+	t0 := m.MonoNow()
+	if t0 == 0 {
+		t.Fatal("ManualMono readings must be distinguishable from the zero MonoTime")
+	}
+	m.Advance(250 * time.Millisecond)
+	if got := MonoSince(&m, t0); got != 250*time.Millisecond {
+		t.Fatalf("MonoSince after Advance = %v, want 250ms", got)
+	}
+	if got := m.MonoNow().Sub(t0); got != 250*time.Millisecond {
+		t.Fatalf("Sub = %v, want 250ms", got)
+	}
+}
+
+func TestMonoOr(t *testing.T) {
+	if _, ok := MonoOr(nil).(Mono); !ok {
+		t.Fatal("MonoOr(nil) should be the real Mono clock")
+	}
+	m := &ManualMono{}
+	if MonoOr(m) != MonoClock(m) {
+		t.Fatal("MonoOr(m) should pass m through")
+	}
+}

@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // Determinism bans nondeterministic inputs — wall clock, global RNG,
@@ -11,10 +13,19 @@ import (
 // function of the seeded configuration; one stray time.Now or
 // rand.Int breaks bit-identical reruns silently until a golden test
 // happens to catch it.
+//
+// The serving observability layer gets the same treatment at its two
+// entry points: importing obslog (whose whole point is wall-clock
+// timestamps and process-global sinks) and touching the monotonic
+// side of internal/clock (clock.Mono and friends measure real elapsed
+// time; the sim clock advances only by simulated quanta). Both are
+// banned by name so the deliberate split — monotonic time for serving
+// latency, deterministic ticks for simulation — cannot erode quietly.
 var Determinism = &Analyzer{
 	Name: RuleDeterminism,
-	Doc: "bans time.Now/Since/Until, top-level math/rand calls, and os.Getenv " +
-		"inside simulation packages; seeded rand.New(rand.NewSource(seed)) stays legal",
+	Doc: "bans time.Now/Since/Until, top-level math/rand calls, os.Getenv, " +
+		"obslog imports, and clock.Mono* references inside simulation packages; " +
+		"seeded rand.New(rand.NewSource(seed)) stays legal",
 	Run: runDeterminism,
 }
 
@@ -30,12 +41,38 @@ var timeBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
 // environment.
 var osBanned = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
 
+// monoClockIdent reports whether name is part of the monotonic side
+// of internal/clock (MonoTime, MonoClock, Mono, ManualMono, MonoOr,
+// MonoSince, ...). The deterministic Clock/Manual side stays legal.
+func monoClockIdent(name string) bool {
+	return strings.HasPrefix(name, "Mono") || name == "ManualMono"
+}
+
 func runDeterminism(pass *Pass) {
 	if !pass.SimPackage() {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if pathBase(path) == "obslog" {
+				pass.Reportf(imp.Pos(),
+					"import of %s brings wall-clock logging into simulation package %q; log from the caller (serve, CLI) and keep the kernel silent",
+					path, pass.Pkg.Base())
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.Pkg.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil &&
+					pathBase(obj.Pkg().Path()) == "clock" && monoClockIdent(obj.Name()) {
+					pass.Reportf(sel.Sel.Pos(),
+						"reference to clock.%s reads the monotonic wall clock inside simulation package %q; simulation time must advance only by simulated quanta (clock.Clock)",
+						obj.Name(), pass.Pkg.Base())
+				}
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

@@ -1,0 +1,36 @@
+// Package membus is a lint fixture for the observability-era
+// determinism extensions: a simulation package must not import the
+// structured logger (wall-clock timestamps in the fingerprint path)
+// and must not touch the monotonic side of the clock package — the
+// deterministic Clock interface stays legal.
+package membus
+
+import (
+	"time"
+
+	"fixture/clock"
+	"fixture/obslog" // want `determinism: import of fixture/obslog brings wall-clock logging into simulation package "membus"`
+)
+
+// tick uses the deterministic clock — legal, no finding.
+func tick(c clock.Clock) time.Duration { return c.Now() }
+
+// manual uses the hand-advanced deterministic clock — also legal.
+func manual() time.Duration {
+	m := &clock.Manual{T: time.Second}
+	return m.Now()
+}
+
+// latency smuggles monotonic time into the simulation: every
+// reference to the Mono side is its own finding.
+func latency(mc clock.MonoClock) clock.MonoTime { // want `determinism: reference to clock.MonoClock reads the monotonic wall clock inside simulation package "membus"` `determinism: reference to clock.MonoTime reads the monotonic wall clock inside simulation package "membus"`
+	c := clock.MonoOr(mc) // want `determinism: reference to clock.MonoOr reads the monotonic wall clock inside simulation package "membus"`
+	return c.MonoNow()    // want `determinism: reference to clock.MonoNow reads the monotonic wall clock inside simulation package "membus"`
+}
+
+// stamp logs from inside the kernel — the import already flagged the
+// package; the chained calls themselves are ordinary method calls and
+// produce no further findings.
+func stamp(l *obslog.Logger) {
+	l.Info().Msg("quantum")
+}

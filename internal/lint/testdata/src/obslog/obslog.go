@@ -1,0 +1,13 @@
+// Package obslog is a lint-fixture stand-in for the real structured
+// logger: importing it from a simulation package is itself the
+// finding, so the stub only needs enough surface to be referenced.
+package obslog
+
+// Logger mirrors the real chained-event logger's entry type.
+type Logger struct{}
+
+// Info mirrors the real constructor shape.
+func (l *Logger) Info() *Logger { return l }
+
+// Msg terminates a chain.
+func (l *Logger) Msg(string) {}

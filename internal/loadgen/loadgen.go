@@ -1,0 +1,459 @@
+// Package loadgen is doraload's engine: an aisloader-style HTTP load
+// generator for dorad, supporting closed-loop (fixed concurrency,
+// back-to-back) and open-loop (fixed arrival rate) driving, a
+// configurable request mix (single loads vs. small campaign grids,
+// fresh requests vs. repeats that exercise the dedup and run-cache
+// paths), and latency accounting through the same telemetry.Histogram
+// code the daemon itself exposes — so the percentiles doraload prints
+// and the ones dorad serves come from one implementation.
+//
+// The generator's own randomness is a seeded rand.Rand: two runs with
+// the same seed and mix issue the same request sequence (arrival
+// *timing* still depends on the target's latency, which is the point
+// of a load test). Latency is measured on clock.Mono, the monotonic
+// serving clock.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/clock"
+	"dora/internal/obslog"
+	"dora/internal/telemetry"
+)
+
+// Schema identifies the BENCH_SERVE.json document shape this package
+// emits; bump on breaking changes so CI catches stale committed files.
+const Schema = "dora-bench-serve/v1"
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL targets the daemon, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// Duration is how long to generate load (default 5 s).
+	Duration time.Duration
+	// Concurrency is the worker count (closed loop) or the maximum
+	// in-flight requests (open loop). Default 4.
+	Concurrency int
+	// QPS > 0 switches to open-loop arrivals at that rate; 0 keeps
+	// the closed loop.
+	QPS float64
+	// CampaignFrac is the fraction of requests issued as small
+	// campaign grids instead of single loads (default 0).
+	CampaignFrac float64
+	// RepeatFrac is the fraction of requests that re-issue an
+	// already-sent body, exercising the daemon's dedup and run-cache
+	// paths (default 0).
+	RepeatFrac float64
+	// Pages and Governors are drawn from uniformly per request.
+	// Defaults: {"Alipay"} and {"interactive"}.
+	Pages     []string
+	Governors []string
+	// Seed drives the generator's request sequence (default 1).
+	Seed int64
+	// WarmupMs / MaxLoadMs / TimeoutMs are copied into every request
+	// (zero = daemon defaults).
+	WarmupMs  int64
+	MaxLoadMs int64
+	TimeoutMs int64
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with sane pooling for Concurrency.
+	Client *http.Client
+	// Log receives progress lines (module "doraload"); nil is silent.
+	Log *obslog.Logger
+	// Mono overrides the latency clock (tests); nil = real monotonic.
+	Mono clock.MonoClock
+}
+
+// LatencySummary is the latency section of a Report, in milliseconds.
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Report is the structured result of a run — the BENCH_SERVE.json
+// document, keeping the BENCH_* trajectory convention started by
+// BENCH_PR2.json/BENCH_PR3.json.
+type Report struct {
+	Schema        string            `json:"schema"`
+	PR            int               `json:"pr"`
+	Date          string            `json:"date"`
+	Go            string            `json:"go"`
+	Target        string            `json:"target"`
+	Mode          string            `json:"mode"` // "closed" | "open"
+	DurationS     float64           `json:"duration_s"`
+	Concurrency   int               `json:"concurrency"`
+	QPS           float64           `json:"qps,omitempty"`
+	CampaignFrac  float64           `json:"campaign_frac"`
+	RepeatFrac    float64           `json:"repeat_frac"`
+	Requests      uint64            `json:"requests"`
+	Errors        uint64            `json:"errors"`
+	MissedTicks   uint64            `json:"missed_ticks"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	Latency       LatencySummary    `json:"latency"`
+	Status        map[string]uint64 `json:"status"`
+	Sources       map[string]uint64 `json:"sources"`
+	DedupRate     float64           `json:"dedup_rate"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+}
+
+// Validate checks the Report against the committed-schema contract CI
+// enforces on BENCH_SERVE.json: identity fields present, counters
+// consistent, percentiles ordered, rates in range.
+func (r *Report) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(r.Schema == Schema, "schema = %q, want %q", r.Schema, Schema)
+	check(r.PR > 0, "pr must be > 0, got %d", r.PR)
+	_, dateErr := time.Parse(time.RFC3339, r.Date)
+	check(dateErr == nil, "date %q is not RFC3339", r.Date)
+	check(r.Go != "", "go version missing")
+	check(r.Target != "", "target missing")
+	check(r.Mode == "closed" || r.Mode == "open", "mode = %q, want closed|open", r.Mode)
+	check(r.DurationS > 0, "duration_s must be > 0, got %g", r.DurationS)
+	check(r.Concurrency > 0, "concurrency must be > 0, got %d", r.Concurrency)
+	check(r.Requests > 0, "requests must be > 0, got %d", r.Requests)
+	check(r.ThroughputRPS > 0, "throughput_rps must be > 0, got %g", r.ThroughputRPS)
+	l := r.Latency
+	check(l.P50Ms > 0, "p50_ms must be > 0, got %g", l.P50Ms)
+	check(l.P50Ms <= l.P90Ms && l.P90Ms <= l.P95Ms && l.P95Ms <= l.P99Ms,
+		"percentiles not monotone: p50=%g p90=%g p95=%g p99=%g", l.P50Ms, l.P90Ms, l.P95Ms, l.P99Ms)
+	check(l.MaxMs >= l.MeanMs && l.MeanMs > 0, "mean/max implausible: mean=%g max=%g", l.MeanMs, l.MaxMs)
+	check(r.Status != nil, "status map missing")
+	check(r.Sources != nil, "sources map missing")
+	var statusTotal uint64
+	for class, n := range r.Status {
+		switch class {
+		case "2xx", "3xx", "4xx", "5xx", "network_error":
+		default:
+			check(false, "unknown status class %q", class)
+		}
+		statusTotal += n
+	}
+	check(statusTotal == r.Requests, "status classes sum to %d, requests = %d", statusTotal, r.Requests)
+	for src := range r.Sources {
+		check(src == "sim" || src == "dedup" || src == "cache", "unknown source %q", src)
+	}
+	check(r.DedupRate >= 0 && r.DedupRate <= 1, "dedup_rate %g outside [0,1]", r.DedupRate)
+	check(r.CacheHitRate >= 0 && r.CacheHitRate <= 1, "cache_hit_rate %g outside [0,1]", r.CacheHitRate)
+	return errors.Join(errs...)
+}
+
+// ValidateJSON decodes data as a Report (rejecting unknown top-level
+// fields, so the committed file cannot drift ahead of the schema) and
+// validates it. Used by `doraload -validate` in CI.
+func ValidateJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("loadgen: BENCH_SERVE document: %w", err)
+	}
+	return r.Validate()
+}
+
+// counters aggregates worker-side observations race-free.
+type counters struct {
+	requests atomic.Uint64
+	errs     atomic.Uint64
+	missed   atomic.Uint64
+	status   [5]atomic.Uint64 // 2xx 3xx 4xx 5xx network_error
+	sources  [3]atomic.Uint64 // sim dedup cache
+	maxNs    atomic.Int64
+}
+
+var sourceIndex = map[string]int{"sim": 0, "dedup": 1, "cache": 2}
+
+// body is one prepared request payload.
+type body struct {
+	path    string // "/v1/load" or "/v1/campaign"
+	payload []byte
+}
+
+// mixer deterministically produces the request stream: fresh bodies
+// (new seeds) or repeats of already-issued ones, single loads or
+// small campaigns.
+type mixer struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    *Config
+	nextID int64
+	issued []body
+}
+
+func (m *mixer) next() body {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := len(m.issued); n > 0 && m.rng.Float64() < m.cfg.RepeatFrac {
+		return m.issued[m.rng.Intn(n)]
+	}
+	page := m.cfg.Pages[m.rng.Intn(len(m.cfg.Pages))]
+	gov := m.cfg.Governors[m.rng.Intn(len(m.cfg.Governors))]
+	seed := m.cfg.Seed + m.nextID*1009
+	m.nextID++
+	var b body
+	if m.rng.Float64() < m.cfg.CampaignFrac {
+		req := map[string]any{"pages": []string{page}, "governors": []string{gov}, "seed": seed}
+		if m.cfg.WarmupMs > 0 {
+			req["warmup_ms"] = m.cfg.WarmupMs
+		}
+		if m.cfg.TimeoutMs > 0 {
+			req["timeout_ms"] = m.cfg.TimeoutMs
+		}
+		payload, _ := json.Marshal(req)
+		b = body{path: "/v1/campaign", payload: payload}
+	} else {
+		req := map[string]any{"page": page, "governor": gov, "seed": seed}
+		if m.cfg.WarmupMs > 0 {
+			req["warmup_ms"] = m.cfg.WarmupMs
+		}
+		if m.cfg.MaxLoadMs > 0 {
+			req["max_load_ms"] = m.cfg.MaxLoadMs
+		}
+		if m.cfg.TimeoutMs > 0 {
+			req["timeout_ms"] = m.cfg.TimeoutMs
+		}
+		payload, _ := json.Marshal(req)
+		b = body{path: "/v1/load", payload: payload}
+	}
+	m.issued = append(m.issued, b)
+	return b
+}
+
+// Run drives the target for cfg.Duration and returns the Report.
+// ctx cancellation stops the run early (the partial report is still
+// returned when at least one request completed).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.BaseURL == "" {
+		return Report{}, errors.New("loadgen: BaseURL is required")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if len(cfg.Pages) == 0 {
+		cfg.Pages = []string{"Alipay"}
+	}
+	if len(cfg.Governors) == 0 {
+		cfg.Governors = []string{"interactive"}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		}}
+	}
+	mono := clock.MonoOr(cfg.Mono)
+	log := cfg.Log.Module("doraload")
+
+	// One histogram, same bucket code as the daemon: 0.2 ms up to
+	// ~20 min with 1.35x resolution.
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("doraload_request_seconds", "client-observed request latency", telemetry.ExponentialBuckets(0.0002, 1.35, 52))
+
+	mode := "closed"
+	if cfg.QPS > 0 {
+		mode = "open"
+	}
+	log.Info().
+		Str("target", cfg.BaseURL).
+		Str("mode", mode).
+		Int("concurrency", cfg.Concurrency).
+		Float("qps", cfg.QPS).
+		Dur("duration_ms", cfg.Duration).
+		Msg("load generation starting")
+
+	mx := &mixer{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: &cfg}
+	var ctrs counters
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := mono.MonoNow()
+
+	fire := func() {
+		b := mx.next()
+		t0 := mono.MonoNow()
+		st, src := doRequest(runCtx, client, cfg.BaseURL, b)
+		lat := clock.MonoSince(mono, t0)
+		// Requests cut off by the end of the run window are not
+		// failures; drop them from the tally.
+		if st == -1 && runCtx.Err() != nil {
+			return
+		}
+		ctrs.requests.Add(1)
+		hist.Observe(lat.Seconds())
+		for {
+			old := ctrs.maxNs.Load()
+			if int64(lat) <= old || ctrs.maxNs.CompareAndSwap(old, int64(lat)) {
+				break
+			}
+		}
+		switch {
+		case st == -1:
+			ctrs.status[4].Add(1)
+			ctrs.errs.Add(1)
+		case st >= 200 && st < 600:
+			ctrs.status[st/100-2].Add(1)
+			if st >= 400 {
+				ctrs.errs.Add(1)
+			}
+		}
+		if i, ok := sourceIndex[src]; ok {
+			ctrs.sources[i].Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if cfg.QPS > 0 {
+		// Open loop: a ticker schedules arrivals; workers drain the
+		// token channel. A full channel means the target (plus our
+		// concurrency cap) cannot absorb the offered rate — count the
+		// dropped tick instead of silently degrading to closed loop.
+		tokens := make(chan struct{}, cfg.Concurrency)
+		for i := 0; i < cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range tokens {
+					fire()
+				}
+			}()
+		}
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+	arrivals:
+		for {
+			select {
+			case <-runCtx.Done():
+				break arrivals
+			case <-ticker.C:
+				select {
+				case tokens <- struct{}{}:
+				default:
+					ctrs.missed.Add(1)
+				}
+			}
+		}
+		ticker.Stop()
+		close(tokens)
+	} else {
+		// Closed loop: every worker keeps exactly one request in
+		// flight until the window closes.
+		for i := 0; i < cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					fire()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := clock.MonoSince(mono, start)
+
+	requests := ctrs.requests.Load()
+	if requests == 0 {
+		return Report{}, errors.New("loadgen: no requests completed inside the run window (target down or window too short)")
+	}
+
+	toMs := func(s float64) float64 { return s * 1e3 }
+	rep := Report{
+		Schema:       Schema,
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		Go:           runtime.Version(),
+		Target:       cfg.BaseURL,
+		Mode:         mode,
+		DurationS:    elapsed.Seconds(),
+		Concurrency:  cfg.Concurrency,
+		QPS:          cfg.QPS,
+		CampaignFrac: cfg.CampaignFrac,
+		RepeatFrac:   cfg.RepeatFrac,
+		Requests:     requests,
+		Errors:       ctrs.errs.Load(),
+		MissedTicks:  ctrs.missed.Load(),
+
+		ThroughputRPS: float64(requests) / elapsed.Seconds(),
+		Latency: LatencySummary{
+			P50Ms:  toMs(hist.Quantile(0.50)),
+			P90Ms:  toMs(hist.Quantile(0.90)),
+			P95Ms:  toMs(hist.Quantile(0.95)),
+			P99Ms:  toMs(hist.Quantile(0.99)),
+			MeanMs: toMs(hist.Sum() / float64(hist.Count())),
+			MaxMs:  float64(ctrs.maxNs.Load()) / 1e6,
+		},
+		Status:  map[string]uint64{},
+		Sources: map[string]uint64{},
+	}
+	for i, class := range [...]string{"2xx", "3xx", "4xx", "5xx", "network_error"} {
+		if n := ctrs.status[i].Load(); n > 0 {
+			rep.Status[class] = n
+		}
+	}
+	var answered uint64
+	for src, i := range sourceIndex {
+		n := ctrs.sources[i].Load()
+		if n > 0 {
+			rep.Sources[src] = n
+		}
+		answered += n
+	}
+	if answered > 0 {
+		rep.DedupRate = float64(rep.Sources["dedup"]) / float64(answered)
+		rep.CacheHitRate = float64(rep.Sources["cache"]) / float64(answered)
+	}
+	log.Info().
+		Uint64("requests", requests).
+		Uint64("errors", rep.Errors).
+		Float("throughput_rps", rep.ThroughputRPS).
+		Float("p50_ms", rep.Latency.P50Ms).
+		Float("p99_ms", rep.Latency.P99Ms).
+		Msg("load generation finished")
+	return rep, nil
+}
+
+// doRequest issues one prepared body and returns (status, source).
+// status -1 means the request never got an HTTP answer.
+func doRequest(ctx context.Context, client *http.Client, baseURL string, b body) (int, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+b.path, bytes.NewReader(b.payload))
+	if err != nil {
+		return -1, ""
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return -1, ""
+	}
+	// Drain so the connection is reusable; bodies are small JSON.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Dora-Source")
+}

@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dora/internal/runcache"
+	"dora/internal/serve"
+)
+
+// startDaemon runs an in-process dorad behind httptest, with a real
+// (temp-file) run cache so RepeatFrac can actually produce "cache"
+// sources across connections.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache, err := runcache.Open(filepath.Join(t.TempDir(), "cache.json"))
+	if err != nil {
+		t.Fatalf("runcache.Open: %v", err)
+	}
+	s := serve.NewServer(serve.Config{Cache: cache})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return ts
+}
+
+func TestClosedLoopAgainstDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real simulations")
+	}
+	ts := startDaemon(t)
+	cfg := Config{
+		BaseURL:      ts.URL,
+		Duration:     1500 * time.Millisecond,
+		Concurrency:  3,
+		CampaignFrac: 0.25,
+		RepeatFrac:   0.5,
+		Pages:        []string{"Alipay"},
+		Governors:    []string{"interactive"},
+		Seed:         7,
+	}
+
+	// The mixer sequence is deterministic for a given seed (Run and a
+	// probe instance generate identical bodies), so pre-simulate the
+	// run's first /v1/load body: repeats of it then hit the warm cache
+	// even when the race detector makes fresh simulations slow.
+	probeCfg := cfg
+	probe := &mixer{rng: rand.New(rand.NewSource(probeCfg.Seed)), cfg: &probeCfg}
+	var firstLoad body
+	for i := 0; i < 16; i++ {
+		if b := probe.next(); b.path == "/v1/load" {
+			firstLoad = b
+			break
+		}
+	}
+	if firstLoad.path == "" {
+		t.Fatal("mixer produced no load request in 16 draws at CampaignFrac=0.25")
+	}
+	warm, err := http.Post(ts.URL+firstLoad.path, "application/json", bytes.NewReader(firstLoad.payload))
+	if err != nil {
+		t.Fatalf("warm-up POST: %v", err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != 200 {
+		t.Fatalf("warm-up POST status = %d", warm.StatusCode)
+	}
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep.PR = 6 // Run leaves identity to the caller
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode = %q, want closed", rep.Mode)
+	}
+	if rep.Requests < 3 {
+		t.Fatalf("requests = %d, want at least one per worker", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (status %v)", rep.Errors, rep.Status)
+	}
+	if rep.Status["2xx"] != rep.Requests {
+		t.Fatalf("status = %v, want all %d requests 2xx", rep.Status, rep.Requests)
+	}
+	// With a warm cache and 50% repeats of a single page/governor mix,
+	// at least one request must have been answered without a fresh
+	// simulation.
+	if rep.Sources["dedup"]+rep.Sources["cache"] == 0 {
+		t.Fatalf("sources = %v, want some dedup/cache traffic at RepeatFrac=0.5", rep.Sources)
+	}
+	if rep.DedupRate+rep.CacheHitRate <= 0 {
+		t.Fatalf("dedup_rate=%g cache_hit_rate=%g, want > 0 combined", rep.DedupRate, rep.CacheHitRate)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.MaxMs < rep.Latency.P50Ms {
+		t.Fatalf("latency summary implausible: %+v", rep.Latency)
+	}
+}
+
+func TestOpenLoopPacesArrivals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real simulations")
+	}
+	ts := startDaemon(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Duration:    1200 * time.Millisecond,
+		Concurrency: 4,
+		QPS:         20,
+		RepeatFrac:  0.9,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode = %q, want open", rep.Mode)
+	}
+	// At 20 QPS for ~1.2 s the generator schedules ~24 arrivals; a
+	// run that completed more than that is not paced at all. Missed
+	// ticks account for arrivals the target could not absorb.
+	if limit := uint64(30); rep.Requests > limit {
+		t.Fatalf("requests = %d, want <= %d in a paced run", rep.Requests, limit)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestMixerDeterministicSequence(t *testing.T) {
+	gen := func() []body {
+		cfg := Config{
+			Pages:        []string{"Alipay", "Amazon"},
+			Governors:    []string{"interactive", "ondemand"},
+			CampaignFrac: 0.3,
+			RepeatFrac:   0.4,
+			Seed:         42,
+		}
+		m := &mixer{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: &cfg}
+		out := make([]body, 50)
+		for i := range out {
+			out[i] = m.next()
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i].path != b[i].path || string(a[i].payload) != string(b[i].payload) {
+			t.Fatalf("request %d diverged between identically-seeded runs:\n%s %s\n%s %s",
+				i, a[i].path, a[i].payload, b[i].path, b[i].payload)
+		}
+	}
+	var campaigns, repeats int
+	seen := map[string]bool{}
+	for _, r := range a {
+		if r.path == "/v1/campaign" {
+			campaigns++
+		}
+		if seen[string(r.payload)] {
+			repeats++
+		}
+		seen[string(r.payload)] = true
+	}
+	if campaigns == 0 {
+		t.Fatal("mix produced no campaigns at CampaignFrac=0.3")
+	}
+	if repeats == 0 {
+		t.Fatal("mix produced no repeats at RepeatFrac=0.4")
+	}
+}
+
+func TestRunRequiresBaseURL(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("Run with empty BaseURL succeeded, want error")
+	}
+}
+
+func TestRunAgainstDeadTarget(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		BaseURL:     "http://127.0.0.1:1", // nothing listens on port 1
+		Duration:    200 * time.Millisecond,
+		Concurrency: 1,
+	})
+	if err != nil {
+		// Connection-refused requests still complete (as
+		// network_error) — but if the platform surfaces them slowly
+		// enough that none land in the window, the empty-run error is
+		// also acceptable.
+		if !strings.Contains(err.Error(), "no requests completed") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+}
+
+func TestValidateCatchesDrift(t *testing.T) {
+	good := Report{
+		Schema: Schema, PR: 6, Date: "2026-08-08T00:00:00Z",
+		Go: "go1.24", Target: "http://x", Mode: "closed",
+		DurationS: 5, Concurrency: 4, Requests: 100,
+		ThroughputRPS: 20,
+		Latency:       LatencySummary{P50Ms: 1, P90Ms: 2, P95Ms: 3, P99Ms: 4, MeanMs: 1.5, MaxMs: 9},
+		Status:        map[string]uint64{"2xx": 100},
+		Sources:       map[string]uint64{"sim": 60, "dedup": 25, "cache": 15},
+		DedupRate:     0.25, CacheHitRate: 0.15,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "dora-bench-serve/v0" }, "schema"},
+		{"missing pr", func(r *Report) { r.PR = 0 }, "pr"},
+		{"bad date", func(r *Report) { r.Date = "yesterday" }, "RFC3339"},
+		{"bad mode", func(r *Report) { r.Mode = "sideways" }, "mode"},
+		{"zero requests", func(r *Report) { r.Requests = 0; r.Status = map[string]uint64{} }, "requests"},
+		{"inverted percentiles", func(r *Report) { r.Latency.P99Ms = 0.5 }, "monotone"},
+		{"status drift", func(r *Report) { r.Status["2xx"] = 99 }, "sum"},
+		{"unknown status class", func(r *Report) { r.Status["6xx"] = 0 }, "status class"},
+		{"unknown source", func(r *Report) { r.Sources["oracle"] = 1 }, "source"},
+		{"rate out of range", func(r *Report) { r.DedupRate = 1.5 }, "dedup_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := good
+			r.Latency = good.Latency
+			r.Status = map[string]uint64{}
+			for k, v := range good.Status {
+				r.Status[k] = v
+			}
+			r.Sources = map[string]uint64{}
+			for k, v := range good.Sources {
+				r.Sources[k] = v
+			}
+			tc.mutate(&r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q passed validation", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateJSONRejectsUnknownFields(t *testing.T) {
+	data, _ := json.Marshal(map[string]any{"schema": Schema, "surprise": true})
+	if err := ValidateJSON(data); err == nil || !strings.Contains(err.Error(), "surprise") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}

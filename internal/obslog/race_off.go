@@ -1,0 +1,9 @@
+//go:build !race
+
+package obslog
+
+// raceEnabled reports whether the binary was built with the race
+// detector (see race_on.go); the disabled-path allocation guard only
+// enforces its strict zero-allocs assertion when instrumentation is
+// off, because the race runtime allocates on its own.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package obslog
+
+// raceEnabled mirrors race_off.go for -race builds.
+const raceEnabled = true

@@ -1,0 +1,112 @@
+package obslog
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Default rotation geometry: 8 MiB per file, 3 numbered backups —
+// ~32 MiB worst case per daemon, small enough for a phone-class
+// device image, large enough to hold hours of access lines.
+const (
+	DefaultMaxBytes   = 8 << 20
+	DefaultMaxBackups = 3
+)
+
+// FileSink is a size-rotated log file. When a write would push the
+// current file past MaxBytes, the file is closed and renamed to
+// path.1 (existing backups shift to path.2 … path.MaxBackups, the
+// oldest is deleted) and a fresh file is opened at path. Writes are
+// serialized; a FileSink is safe for concurrent use, though the
+// Logger already serializes its own writes.
+type FileSink struct {
+	mu         sync.Mutex
+	path       string
+	f          *os.File
+	size       int64
+	maxBytes   int64
+	maxBackups int
+}
+
+// OpenFile opens (appending) or creates the sink file. maxBytes <= 0
+// takes DefaultMaxBytes; maxBackups < 0 takes DefaultMaxBackups,
+// while maxBackups == 0 keeps no backups (rotation truncates).
+func OpenFile(path string, maxBytes int64, maxBackups int) (*FileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if maxBackups < 0 {
+		maxBackups = DefaultMaxBackups
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obslog: open log file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obslog: stat log file: %w", err)
+	}
+	return &FileSink{path: path, f: f, size: st.Size(), maxBytes: maxBytes, maxBackups: maxBackups}, nil
+}
+
+// Write appends one (already-assembled) log line, rotating first if
+// the line would push the file past MaxBytes. A line larger than
+// MaxBytes still lands in one file: rotation bounds growth, it does
+// not split lines.
+func (s *FileSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size > 0 && s.size+int64(len(p)) > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := s.f.Write(p)
+	s.size += int64(n)
+	return n, err
+}
+
+// rotateLocked shifts backups and reopens a fresh file.
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("obslog: rotate close: %w", err)
+	}
+	if s.maxBackups == 0 {
+		// No backups kept: truncate in place.
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("obslog: rotate reopen: %w", err)
+		}
+		s.f, s.size = f, 0
+		return nil
+	}
+	// Shift path.(n-1) -> path.n from the oldest down, then path -> path.1.
+	_ = os.Remove(s.backupPath(s.maxBackups))
+	for i := s.maxBackups - 1; i >= 1; i-- {
+		// Rename fails benignly when the source does not exist yet.
+		_ = os.Rename(s.backupPath(i), s.backupPath(i+1))
+	}
+	if err := os.Rename(s.path, s.backupPath(1)); err != nil {
+		return fmt.Errorf("obslog: rotate rename: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obslog: rotate reopen: %w", err)
+	}
+	s.f, s.size = f, 0
+	return nil
+}
+
+func (s *FileSink) backupPath(i int) string {
+	return s.path + "." + strconv.Itoa(i)
+}
+
+// Close flushes and closes the current file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

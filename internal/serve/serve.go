@@ -31,13 +31,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dora/internal/clock"
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/governor"
+	"dora/internal/obslog"
 	"dora/internal/pool"
 	"dora/internal/runcache"
 	"dora/internal/sim"
@@ -79,6 +83,18 @@ type Config struct {
 	// Metrics receives request- and simulation-level metrics
 	// (nil = a fresh registry, exposed at GET /metrics).
 	Metrics *telemetry.Registry
+	// Log receives structured serving logs; the server derives its
+	// "serve" and per-request "access" module handles from it. nil
+	// discards everything at zero cost.
+	Log *obslog.Logger
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ (opt-in: profiling endpoints expose timing and
+	// memory internals, so they are off unless asked for).
+	EnablePprof bool
+	// Mono is the monotonic clock used for serving latency and uptime
+	// (nil = the real clock.Mono). Tests substitute clock.ManualMono
+	// to observe exact histogram buckets.
+	Mono clock.MonoClock
 }
 
 // Server is the dorad daemon core: handlers plus the admission,
@@ -102,6 +118,15 @@ type Server struct {
 	simWG    sync.WaitGroup // detached flight leaders
 
 	flights flightGroup
+
+	log       *obslog.Logger // module "serve": lifecycle + errors
+	alog      *obslog.Logger // module "access": one line per request
+	obs       *serveObs
+	mono      clock.MonoClock
+	startMono clock.MonoTime
+	version   string
+
+	jitterState atomic.Uint64 // Retry-After jitter PRNG state
 
 	mRequests      *telemetry.Counter
 	mRejects       *telemetry.Counter
@@ -152,8 +177,13 @@ func NewServer(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 
+		log:     cfg.Log.Module("serve"),
+		alog:    cfg.Log.Module("access"),
+		mono:    clock.MonoOr(cfg.Mono),
+		version: buildVersion(),
+
 		mRequests:      reg.Counter("dora_serve_requests_total", "simulation requests received (load + campaign)"),
-		mRejects:       reg.Counter("dora_serve_admission_rejects_total", "requests shed with 429 because the admission queue was full"),
+		mRejects:       reg.Counter("dora_admission_rejected_total", "requests shed with 429 because the admission queue was full"),
 		mDrainRejects:  reg.Counter("dora_serve_drain_rejects_total", "requests refused with 503 during graceful drain"),
 		mDeadline:      reg.Counter("dora_serve_deadline_expired_total", "requests answered 504 after their deadline expired"),
 		mDedup:         reg.Counter("dora_serve_dedup_joins_total", "requests coalesced onto an in-flight identical simulation"),
@@ -164,21 +194,32 @@ func NewServer(cfg Config) *Server {
 		gQueue:         reg.Gauge("dora_serve_queue_depth", "requests currently admitted (simulating + waiting)"),
 		hLatency:       reg.Histogram("dora_serve_request_seconds", "request latency (seconds)", telemetry.ExponentialBuckets(0.001, 2, 14)),
 	}
+	s.obs = newServeObs(reg)
+	s.startMono = s.mono.MonoNow()
+	// Seed the Retry-After jitter stream from boot entropy (falling
+	// back to a fixed seed changes nothing but the jitter phase).
+	s.jitterState.Store(uint64(s.startMono.Nanos()) ^ 0x6a09e667f3bcc908)
 	return s
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table, wrapped in the
+// observability middleware (request IDs, per-endpoint metrics, access
+// log). pprof mounts only when the config opted in.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/load", s.handleLoad)
 	mux.HandleFunc("/v1/campaign", s.handleCampaign)
 	mux.HandleFunc("/v1/pages", s.handlePages)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errNotFound("no route %s %s", r.Method, r.URL.Path))
 	})
-	return mux
+	return s.withObs(mux)
 }
 
 // --- lifecycle -------------------------------------------------------
@@ -247,7 +288,8 @@ func (s *Server) InFlight() int { return int(s.queued.Load()) }
 
 // admit applies backpressure: the request either takes a simulation
 // slot, is parked in the bounded wait queue, or is shed. release must
-// be called exactly once when admission succeeded.
+// be called exactly once when admission succeeded. Time spent waiting
+// for a slot is reported into the request's observability record.
 func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
 	n := s.queued.Add(1)
 	s.gQueue.Set(float64(n))
@@ -260,8 +302,12 @@ func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
 			Message: fmt.Sprintf("admission queue full (%d simulating, %d queue slots)", s.cfg.Concurrency, s.cfg.MaxQueue),
 		}
 	}
+	waitStart := s.mono.MonoNow()
 	select {
 	case s.sem <- struct{}{}:
+		if obs := obsFrom(ctx); obs != nil {
+			obs.queueWait = clock.MonoSince(s.mono, waitStart)
+		}
 		var once sync.Once
 		return func() {
 			once.Do(func() {
@@ -295,6 +341,14 @@ func (s *Server) loadKey(req LoadRequest) string {
 // the request context. The returned body is shared verbatim between
 // every deduplicated waiter.
 func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+	simStart := s.mono.MonoNow()
+	if obs := obsFrom(ctx); obs != nil {
+		// Campaign cells run concurrently; accumulate wall time spent
+		// in simulation (including dedup/cache waits) atomically.
+		defer func() {
+			obs.simNanos.Add(clock.MonoSince(s.mono, simStart).Nanoseconds())
+		}()
+	}
 	key := s.loadKey(req)
 	if s.cfg.Cache != nil {
 		var r sim.Result
@@ -645,8 +699,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, code, map[string]any{
-		"status":      status,
-		"queue_depth": s.InFlight(),
+		"status":         status,
+		"draining":       s.Draining(),
+		"queue_depth":    s.InFlight(),
+		"version":        s.version,
+		"go":             runtime.Version(),
+		"uptime_s":       clock.MonoSince(s.mono, s.startMono).Seconds(),
+		"requests_total": s.mRequests.Value(),
 	})
 }
 
@@ -667,9 +726,12 @@ func (s *Server) writeDrainRefusal(w http.ResponseWriter) {
 func (s *Server) writeError(w http.ResponseWriter, apiErr *apiError) {
 	switch apiErr.Status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds())))
+		// Jittered advisory backoff: a shed burst must not come back
+		// as a synchronized retry burst.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 	case http.StatusGatewayTimeout:
 		s.mDeadline.Inc()
 	}
+	w.Header().Set(ErrorCodeHeader, apiErr.Code)
 	s.writeJSON(w, apiErr.Status, errorBody{Err: apiErr})
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_serve.sh — record the serving-path performance trajectory.
+#
+# Boots an in-process dorad (doraload -self), drives it with the
+# default mixed workload (10% campaign grids, 40% repeats so the
+# dedup and run-cache paths see traffic), and writes the structured
+# report to BENCH_SERVE.json at the repo root (or the path given as
+# $1). The document is schema-checked twice: by doraload itself on
+# generation and again here via `doraload -validate`, the same gate CI
+# applies to the committed file.
+#
+# Knobs (environment):
+#   DURATION     load window, default 5s
+#   CONCURRENCY  workers, default 4
+#   QPS          open-loop arrival rate, default 0 (closed loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_SERVE.json}"
+
+duration="${DURATION:-5s}"
+concurrency="${CONCURRENCY:-4}"
+qps="${QPS:-0}"
+
+echo "building doraload..." >&2
+go build -o /tmp/doraload ./cmd/doraload
+
+echo "driving in-process dorad for ${duration} (c=${concurrency}, qps=${qps})..." >&2
+/tmp/doraload -self -duration "$duration" -c "$concurrency" -qps "$qps" \
+  -seed 1 -campaign-frac 0.1 -repeat-frac 0.4 \
+  -log-level warn -json "$out"
+
+/tmp/doraload -validate "$out" >&2
+echo "wrote $out" >&2
+cat "$out"
