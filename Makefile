@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve serve-test fuzz-smoke load
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve bench-sampled serve-test fuzz-smoke load
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ bench-pr3:
 # numbers to BENCH_SERVE.json. Knobs: DURATION, CONCURRENCY, QPS.
 bench-serve:
 	scripts/bench_serve.sh
+
+# Record the sampled-fidelity validation trajectory: the full page ×
+# co-run matrix in both modes, gated on the ≤2%/≤5% error budget and
+# the ≥5x campaign speedup, into BENCH_SAMPLED.json.
+bench-sampled:
+	scripts/bench_sampled.sh
 
 # Ad-hoc load generation against a running daemon:
 #   make load TARGET=http://127.0.0.1:8077 [ARGS="-duration 10s -qps 50"]

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"dora/internal/core"
+	"dora/internal/fidelity"
 	"dora/internal/obslog"
 	"dora/internal/pool"
 	"dora/internal/runcache"
@@ -58,6 +59,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request processing deadline when the request sets no timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight simulations")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes profiling internals; opt-in)")
+	fidelityFlag := flag.String("fidelity", "exact", "default simulation fidelity for requests that omit the field: exact|sampled")
 	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -94,16 +96,22 @@ func main() {
 		log.Printf("run cache %s: %d entries", *cachePath, cache.Len())
 	}
 
+	fid, err := fidelity.ParseMode(*fidelityFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	srv := serve.NewServer(serve.Config{
-		Models:         models,
-		Workers:        nworkers,
-		Concurrency:    *concurrency,
-		MaxQueue:       *queue,
-		DefaultTimeout: *timeout,
-		Cache:          cache,
-		Metrics:        telemetry.NewRegistry(),
-		Log:            logger,
-		EnablePprof:    *pprof,
+		Models:          models,
+		Workers:         nworkers,
+		Concurrency:     *concurrency,
+		MaxQueue:        *queue,
+		DefaultTimeout:  *timeout,
+		Cache:           cache,
+		DefaultFidelity: fid.String(),
+		Metrics:         telemetry.NewRegistry(),
+		Log:             logger,
+		EnablePprof:     *pprof,
 	})
 
 	hs := &http.Server{

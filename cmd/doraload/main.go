@@ -53,6 +53,7 @@ func main() {
 	qps := flag.Float64("qps", 0, "open-loop arrival rate; 0 = closed loop")
 	campaignFrac := flag.Float64("campaign-frac", 0.1, "fraction of requests issued as campaign grids")
 	repeatFrac := flag.Float64("repeat-frac", 0.4, "fraction of requests repeating an earlier body (exercises dedup + run cache)")
+	fidelityFrac := flag.Float64("fidelity-frac", 0, "fraction of fresh requests issued with fidelity \"sampled\"")
 	pages := flag.String("pages", "Alipay", "comma-separated page mix")
 	governors := flag.String("governors", "interactive", "comma-separated governor mix")
 	seed := flag.Int64("seed", 1, "request-mix seed (same seed = same request sequence)")
@@ -109,6 +110,7 @@ func main() {
 		QPS:          *qps,
 		CampaignFrac: *campaignFrac,
 		RepeatFrac:   *repeatFrac,
+		FidelityFrac: *fidelityFrac,
 		Pages:        splitList(*pages),
 		Governors:    splitList(*governors),
 		Seed:         *seed,

@@ -42,6 +42,7 @@ func main() {
 	deadline := flag.Duration("deadline", 3*time.Second, "QoS load-time target")
 	modelsPath := flag.String("models", "", "trained models JSON (required for DORA/DL/EE)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	fidelityFlag := flag.String("fidelity", "exact", "simulation fidelity: exact|sampled (sampled fast-forwards phase-stable slices)")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file (load into Perfetto / chrome://tracing)")
 	traceCSV := flag.String("tracecsv", "", "write a per-millisecond CSV trace (time,freq,power,temp,bus_util) to this file")
 	decisions := flag.String("decisions", "", "write the governor decision log (.csv for CSV, anything else for JSONL)")
@@ -89,6 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fid, err := dora.ParseFidelity(*fidelityFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Trace, decision-log, and metric outputs need a live simulation,
 	// so the cache only serves runs when none are requested.
@@ -101,7 +106,7 @@ func main() {
 		}
 		if *trace == "" && *traceCSV == "" && *decisions == "" && *metrics == "" {
 			cacheKey = runcache.Key("dorasim-run", sim.ConfigFingerprint(dev),
-				*seed, *page, *coRun, *govName, *freq, *deadline, models)
+				*seed, *page, *coRun, *govName, *freq, *deadline, models, fid.String())
 		}
 	}
 
@@ -114,6 +119,7 @@ func main() {
 		Deadline:         *deadline,
 		DecisionInterval: interval,
 		Seed:             *seed,
+		Fidelity:         fid,
 	}
 	if *traceCSV != "" {
 		traceBuf.WriteString("time_s,freq_mhz,power_w,soc_temp_c,bus_util\n")

@@ -30,6 +30,7 @@ func main() {
 	log.SetPrefix("doratrain: ")
 	fast := flag.Bool("fast", false, "reduced campaign grid (quicker, lower fidelity)")
 	seed := flag.Int64("seed", 1, "campaign random seed")
+	fidelityFlag := flag.String("fidelity", "exact", "campaign simulation fidelity: exact|sampled (sampled fast-forwards phase-stable slices)")
 	out := flag.String("out", "models.json", "output path for the trained models")
 	obsOut := flag.String("obs", "", "also save the raw campaign observations to this JSON file")
 	obsIn := flag.String("from-obs", "", "skip the campaign and fit from a saved observations file")
@@ -56,6 +57,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProfiles()
+
+	fid, err := dora.ParseFidelity(*fidelityFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var cache *dora.RunCache
 	if *cachePath != "" {
@@ -88,8 +94,9 @@ func main() {
 		}
 	} else {
 		fmt.Println("running measurement campaign (this simulates hundreds of page loads)...")
-		logger.Info().Bool("fast", *fast).Int64("seed", *seed).Int("workers", nworkers).Msg("measurement campaign starting")
-		tc := train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache}
+		logger.Info().Bool("fast", *fast).Int64("seed", *seed).Int("workers", nworkers).
+			Str("fidelity", fid.String()).Msg("measurement campaign starting")
+		tc := train.Config{SoC: dev, Seed: *seed, Workers: nworkers, Cache: cache, Fidelity: fid}
 		if *fast {
 			tc.Pages = []string{"Alipay", "Twitter", "MSN", "Reddit", "Amazon", "ESPN", "Hao123", "Aliexpress"}
 			tc.FreqsMHz = []int{652, 729, 883, 960, 1190, 1267, 1497, 1728, 1958, 2265}

@@ -43,6 +43,7 @@ import (
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/experiment"
+	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/runcache"
 	"dora/internal/sim"
@@ -88,6 +89,19 @@ type (
 	// a warm cache lets repeat campaigns and suite builds skip the
 	// simulator entirely. A nil *RunCache disables caching.
 	RunCache = runcache.Cache
+
+	// Fidelity selects the simulation mode: ExactFidelity simulates
+	// every sampled reference (the default), SampledFidelity detects
+	// stable phases and extrapolates them from measured rates for a
+	// multi-x speedup at ≤2% mean observable error (DESIGN.md §10).
+	Fidelity = fidelity.Mode
+	// FidelityParams tunes the sampled-mode phase detector.
+	FidelityParams = fidelity.Params
+	// CheckpointStore shares sampled-mode warm-state checkpoints across
+	// page loads: runs that agree on device, seed, co-runner, governor
+	// configuration, and warmup resume from a shared warm snapshot
+	// instead of re-simulating the lead-in.
+	CheckpointStore = sim.CheckpointStore
 )
 
 // OpenRunCache loads (or creates) the persistent run cache at path.
@@ -114,6 +128,20 @@ const (
 	HighIntensity   = corun.High
 	NoCoRunner      = corun.None
 )
+
+// Fidelity modes.
+const (
+	ExactFidelity   = fidelity.Exact
+	SampledFidelity = fidelity.Sampled
+)
+
+// ParseFidelity parses a -fidelity flag or request-field value
+// ("", "exact", or "sampled"; empty means exact).
+func ParseFidelity(s string) (Fidelity, error) { return fidelity.ParseMode(s) }
+
+// NewCheckpointStore builds an empty warm-checkpoint store to share
+// across sampled-fidelity loads (safe for concurrent use).
+func NewCheckpointStore() *CheckpointStore { return sim.NewCheckpointStore() }
 
 // DefaultDevice returns the calibrated Nexus 5 (MSM8974) configuration
 // of the paper's Table II.
@@ -150,6 +178,10 @@ type TrainOptions struct {
 	// Cache, when set, serves previously measured campaign cells from
 	// disk and records fresh ones.
 	Cache *RunCache
+	// Fidelity selects the campaign simulation mode (default exact).
+	Fidelity Fidelity
+	// FidelityParams tunes sampled mode (zero value = defaults).
+	FidelityParams FidelityParams
 }
 
 // Train runs the paper's offline methodology: the fixed-frequency
@@ -157,7 +189,8 @@ type TrainOptions struct {
 // response-surface fits. It returns the trained models and the
 // training-set accuracy report.
 func Train(opts TrainOptions) (*Models, TrainReport, error) {
-	tc := train.Config{SoC: opts.Device, Seed: opts.Seed, Workers: opts.Workers, Cache: opts.Cache}
+	tc := train.Config{SoC: opts.Device, Seed: opts.Seed, Workers: opts.Workers, Cache: opts.Cache,
+		Fidelity: opts.Fidelity, FidelityParams: opts.FidelityParams}
 	switch {
 	case opts.Tiny:
 		tc.Pages = []string{"Alipay", "Reddit", "MSN", "Hao123"}
@@ -261,6 +294,14 @@ type LoadOptions struct {
 	Decisions *DecisionLog
 	// Metrics accumulates run counters, gauges, and histograms.
 	Metrics *Registry
+	// Fidelity selects the simulation mode (default exact).
+	Fidelity Fidelity
+	// FidelityParams tunes sampled mode (zero value = defaults).
+	FidelityParams FidelityParams
+	// Checkpoints, when set with SampledFidelity, shares warm-state
+	// checkpoints across loads (only consulted when no observer —
+	// TraceFn, Sink, Tracer, Decisions, Metrics — is attached).
+	Checkpoints *CheckpointStore
 }
 
 // LoadPage performs one end-to-end measured page load.
@@ -304,6 +345,9 @@ func LoadPageContext(ctx context.Context, opts LoadOptions) (Result, error) {
 		Tracer:           opts.Tracer,
 		Decisions:        opts.Decisions,
 		Metrics:          opts.Metrics,
+		Fidelity:         opts.Fidelity,
+		FidelityParams:   opts.FidelityParams,
+		Checkpoints:      opts.Checkpoints,
 	}, wl)
 }
 
@@ -329,17 +373,24 @@ type SuiteOptions struct {
 	// Cache, when set, persists every measurement (campaign cells,
 	// static-fit parameters, exhibit runs) across processes.
 	Cache *RunCache
+	// Fidelity selects the training-campaign simulation mode (default
+	// exact).
+	Fidelity Fidelity
+	// FidelityParams tunes sampled mode (zero value = defaults).
+	FidelityParams FidelityParams
 }
 
 // NewSuiteOpts trains models and returns the paper-evaluation suite
 // with explicit parallelism and caching control.
 func NewSuiteOpts(opts SuiteOptions) (*Suite, error) {
 	return experiment.NewSuite(experiment.TrainingConfig{
-		SoC:     opts.Device,
-		Seed:    opts.Seed,
-		Fast:    opts.Fast,
-		Tiny:    opts.Tiny,
-		Workers: opts.Workers,
-		Cache:   opts.Cache,
+		SoC:            opts.Device,
+		Seed:           opts.Seed,
+		Fast:           opts.Fast,
+		Tiny:           opts.Tiny,
+		Workers:        opts.Workers,
+		Cache:          opts.Cache,
+		Fidelity:       opts.Fidelity,
+		FidelityParams: opts.FidelityParams,
 	})
 }

@@ -288,3 +288,53 @@ func (c *Cache) OwnerLines(owner int) int {
 	}
 	return n
 }
+
+// Snapshot is a deep copy of a cache's warm state — every tag, LRU
+// timestamp, owner byte, validity word, the replacement RNG/tick, and
+// the per-owner counters. It is the cache's contribution to a
+// simulation checkpoint: Restore on a freshly built cache of the same
+// configuration reproduces the donor bit for bit.
+type Snapshot struct {
+	Tags      []uint64
+	LastUse   []uint64
+	Owners    []int8
+	ValidBits []uint64
+	Tick      uint64
+	LCG       uint64
+	Stats     []OwnerStats
+}
+
+// Snapshot captures the cache's current warm state.
+func (c *Cache) Snapshot() Snapshot {
+	s := Snapshot{
+		Tags:      make([]uint64, len(c.tags)),
+		LastUse:   make([]uint64, len(c.lastUse)),
+		Owners:    make([]int8, len(c.owners)),
+		ValidBits: make([]uint64, len(c.validBits)),
+		Tick:      c.tick,
+		LCG:       c.lcg,
+		Stats:     make([]OwnerStats, len(c.stats)),
+	}
+	copy(s.Tags, c.tags)
+	copy(s.LastUse, c.lastUse)
+	copy(s.Owners, c.owners)
+	copy(s.ValidBits, c.validBits)
+	copy(s.Stats, c.stats)
+	return s
+}
+
+// Restore overwrites the cache's state with a snapshot taken from a
+// cache of the same geometry. Mismatched geometries are a programming
+// error and panic rather than silently corrupt the arrays.
+func (c *Cache) Restore(s Snapshot) {
+	if len(s.Tags) != len(c.tags) || len(s.ValidBits) != len(c.validBits) || len(s.Stats) != len(c.stats) {
+		panic("cache: snapshot geometry mismatch")
+	}
+	copy(c.tags, s.Tags)
+	copy(c.lastUse, s.LastUse)
+	copy(c.owners, s.Owners)
+	copy(c.validBits, s.ValidBits)
+	c.tick = s.Tick
+	c.lcg = s.LCG
+	copy(c.stats, s.Stats)
+}

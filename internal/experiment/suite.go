@@ -21,6 +21,7 @@ import (
 	"dora/internal/clock"
 	"dora/internal/core"
 	"dora/internal/corun"
+	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/pool"
 	"dora/internal/runcache"
@@ -63,6 +64,13 @@ type Suite struct {
 	// (nil = the monotonic wall clock); tests inject a manual clock so
 	// the measurement itself is deterministic.
 	Clock clock.Clock
+
+	// FidelityParams tunes sampled-fidelity runs requested through
+	// RunOptions.Fidelity (zero = defaults).
+	FidelityParams fidelity.Params
+	// ckpts shares warm-state checkpoints across the suite's sampled
+	// runs (harmless to exact runs, which never consult it).
+	ckpts *sim.CheckpointStore
 
 	mu       sync.Mutex
 	cache    map[RunOptions]sim.Result
@@ -107,11 +115,18 @@ type TrainingConfig struct {
 	// Cache, when set, persists both campaign cells and suite run
 	// results across processes.
 	Cache *runcache.Cache
+	// Fidelity selects the campaign simulation mode (default exact).
+	// Sampled trades ≤2% observable error for a multi-x campaign
+	// speedup; see DESIGN.md §10.
+	Fidelity fidelity.Mode
+	// FidelityParams tunes the sampled-mode detector (zero = defaults).
+	FidelityParams fidelity.Params
 }
 
 // NewSuite runs the training pipeline and returns a ready suite.
 func NewSuite(cfg TrainingConfig) (*Suite, error) {
-	tc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed, Workers: cfg.Workers, Cache: cfg.Cache}
+	tc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed, Workers: cfg.Workers, Cache: cfg.Cache,
+		Fidelity: cfg.Fidelity, FidelityParams: cfg.FidelityParams}
 	switch {
 	case cfg.Tiny:
 		tc.Pages = []string{"Alipay", "Reddit", "MSN", "Hao123"}
@@ -134,19 +149,22 @@ func NewSuite(cfg TrainingConfig) (*Suite, error) {
 		return nil, fmt.Errorf("experiment: model fit: %w", err)
 	}
 	s := &Suite{
-		SoC:          cfg.SoC,
-		Models:       models,
-		Static:       static,
-		TrainReport:  rep,
-		Observations: obs,
-		Seed:         cfg.Seed,
-		Workers:      cfg.Workers,
-		RunCache:     cfg.Cache,
-		cache:        map[RunOptions]sim.Result{},
+		SoC:            cfg.SoC,
+		Models:         models,
+		Static:         static,
+		TrainReport:    rep,
+		Observations:   obs,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		RunCache:       cfg.Cache,
+		cache:          map[RunOptions]sim.Result{},
+		FidelityParams: cfg.FidelityParams,
+		ckpts:          sim.NewCheckpointStore(),
 	}
 	// Holdout (Webpage-Neutral) accuracy: measure the 4 held-out pages
 	// and evaluate the trained models on them.
 	hc := train.Config{SoC: cfg.SoC, Seed: cfg.Seed + 10_000, Pages: webgen.HoldoutNames(),
+		Fidelity: cfg.Fidelity, FidelityParams: cfg.FidelityParams,
 		Workers: cfg.Workers, Cache: cfg.Cache}
 	if cfg.Tiny || cfg.Fast {
 		hc.Pages = hc.Pages[:2]
@@ -208,6 +226,11 @@ type RunOptions struct {
 	AmbientC   float64 // 0 = default
 	StartTempC float64 // 0 = default prewarm
 	Warmup     time.Duration
+	// Fidelity selects the simulation mode for this run (default
+	// exact). A fidelity.Mode is a plain int, so RunOptions stays
+	// comparable and remains its own memo key — exact and sampled runs
+	// of the same cell can never alias in the memo or the run cache.
+	Fidelity fidelity.Mode
 }
 
 // Run executes (or returns the cached) measurement for the options.
@@ -321,6 +344,9 @@ func (s *Suite) measure(ctx context.Context, o RunOptions) (sim.Result, error) {
 		AmbientC:         o.AmbientC,
 		Warmup:           o.Warmup,
 		Metrics:          s.Metrics,
+		Fidelity:         o.Fidelity,
+		FidelityParams:   s.FidelityParams,
+		Checkpoints:      s.ckpts,
 	}
 	s.Metrics.Counter("dora_suite_runs_total", "measurements executed (cache misses)").Inc()
 	if o.StartTempC != 0 {

@@ -1,0 +1,249 @@
+// Package fidelity implements the sampled-fidelity phase layer: a
+// quantized per-slice phase signature over the machine's measured
+// activity, and a streaming detector that decides — slice by slice —
+// whether the simulation is inside a stable phase whose remaining
+// slices can be extrapolated from measured rates instead of simulated
+// in detail (Pac-Sim-style live sampling, mapped onto DORA's 1 ms
+// slice loop).
+//
+// Everything here is a pure function of slice statistics that are
+// themselves pure functions of the seeded configuration, so sampled
+// runs stay bit-identical across hosts and worker counts.
+package fidelity
+
+import (
+	"fmt"
+
+	"dora/internal/soc"
+)
+
+// Mode selects the simulation fidelity.
+type Mode int
+
+const (
+	// Exact simulates every sampled reference through the cache
+	// hierarchy (the default; the golden campaign fingerprint is
+	// pinned to it).
+	Exact Mode = iota
+	// Sampled simulates detailed slices only at phase boundaries and
+	// on a periodic cadence, extrapolating the rest from measured
+	// rates.
+	Sampled
+)
+
+// String names the mode as spelled on -fidelity flags and in request
+// schemas.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Sampled:
+		return "sampled"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -fidelity flag or request-field value. The empty
+// string means Exact, matching the opt-in contract everywhere the
+// knob is threaded.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return Exact, nil
+	case "sampled":
+		return Sampled, nil
+	default:
+		return Exact, fmt.Errorf("fidelity: unknown mode %q (want exact or sampled)", s)
+	}
+}
+
+// Params tunes the sampled-mode detector.
+type Params struct {
+	// Interval is the detailed-slice cadence inside a stable phase:
+	// one slice in Interval is simulated in detail, the rest are
+	// extrapolated. Higher is faster and coarser.
+	Interval int
+	// Stable is the number of consecutive slices with an identical
+	// phase signature required before extrapolation begins.
+	Stable int
+}
+
+// DefaultParams returns the calibrated defaults behind the committed
+// BENCH_SAMPLED error budget.
+func DefaultParams() Params { return Params{Interval: 32, Stable: 2} }
+
+// withDefaults fills unset fields.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Interval <= 1 {
+		p.Interval = d.Interval
+	}
+	if p.Stable < 1 {
+		p.Stable = d.Stable
+	}
+	return p
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Signature hashes one detailed slice's activity into a quantized
+// phase signature: per-core MPKI, stall-fraction and utilization
+// buckets, a per-core activity flag, the bus utilization bucket, and
+// the operating frequency. Two slices with
+// equal signatures are "the same phase" for extrapolation purposes.
+// sliceNs is the accounting-slice length the stats cover; kinds[i] is
+// core i's active segment kind (soc.Machine.CoreSegKind).
+//
+//dora:hotpath
+func Signature(stats *soc.SliceStats, sliceNs int64, kinds []string) uint64 {
+	h := uint64(fnvOffset)
+	for i := range stats.Cores {
+		c := &stats.Cores[i]
+		// MPKI in half-power-of-two buckets.
+		mpki := 0.0
+		if c.Instructions > 0 {
+			mpki = float64(c.L2Miss) * 1000 / float64(c.Instructions)
+		}
+		h = fnvMix(h, logBucket(mpki))
+		// Stall fraction and utilization in 1/16 buckets.
+		stall := 0.0
+		if c.BusyNs > 0 {
+			stall = float64(c.StallNs) / float64(c.BusyNs)
+		}
+		h = fnvMix(h, uint64(stall*16))
+		h = fnvMix(h, uint64(float64(c.BusyNs)/float64(sliceNs)*16))
+		// Active-kernel mix: whether the core is executing at all.
+		// Deliberately NOT the segment kind itself: kernels that
+		// alternate short segments (kmeans assign/update) would churn
+		// the signature every slice, and the quantized rate buckets
+		// above already distinguish behaviorally different segments.
+		if kinds[i] != "" {
+			h = fnvMix(h, 0xA5)
+		}
+		h = fnvMix(h, 0xFE) // per-core terminator
+	}
+	h = fnvMix(h, uint64(stats.BusUtil*32))
+	h = fnvMix(h, uint64(stats.FreqMHz))
+	return h
+}
+
+// fnvMix folds one value into an FNV-1a style running hash.
+func fnvMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// logBucket quantizes a non-negative value into half-log2 buckets
+// without calling math.Log2 on the hot path: bucket k covers
+// [2^(k/2)-1, 2^((k+1)/2)-1).
+func logBucket(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	b := uint64(0)
+	threshold := 1.0
+	for v+1 >= threshold && b < 64 {
+		b++
+		threshold *= 1.4142135623730951
+	}
+	return b
+}
+
+// Detector is the streaming phase detector. Feed it the signature of
+// every detailed slice via Observe; between detailed slices, ask
+// CanExtrapolate and account extrapolated slices with
+// NoteExtrapolated. External events that invalidate the phase (an OPP
+// change, a source assignment or completion) are reported with
+// ForceDetail.
+type Detector struct {
+	p           Params
+	sig         uint64
+	streak      int
+	sinceDetail int
+
+	// Cumulative accounting, for diagnostics and the validation
+	// harness.
+	detailed     int64
+	extrapolated int64
+}
+
+// NewDetector builds a detector with p (zero fields take defaults).
+func NewDetector(p Params) *Detector {
+	return &Detector{p: p.withDefaults()}
+}
+
+// Observe records a detailed slice's signature. unstable marks slices
+// whose measurements are polluted (DVFS switch stall): they reset the
+// stability streak without becoming the phase signature.
+//
+//dora:hotpath
+func (d *Detector) Observe(sig uint64, unstable bool) {
+	d.detailed++
+	d.sinceDetail = 0
+	if unstable {
+		d.streak = 0
+		return
+	}
+	if sig == d.sig && d.streak > 0 {
+		d.streak++
+	} else {
+		d.sig = sig
+		d.streak = 1
+	}
+}
+
+// CanExtrapolate reports whether the next slice may be fast-forwarded:
+// the phase has been stable for Stable consecutive detailed slices and
+// the periodic detail cadence is not yet due.
+func (d *Detector) CanExtrapolate() bool {
+	return d.streak >= d.p.Stable && d.sinceDetail < d.p.Interval-1
+}
+
+// NoteExtrapolated accounts one fast-forwarded slice.
+func (d *Detector) NoteExtrapolated() {
+	d.extrapolated++
+	d.sinceDetail++
+}
+
+// ForceDetail invalidates the current phase: the next slices run in
+// detail until stability is re-established. Call it on OPP changes,
+// source assignment/completion, and any other event that changes the
+// machine's behavior discontinuously.
+func (d *Detector) ForceDetail() {
+	d.streak = 0
+	d.sinceDetail = 0
+}
+
+// ForceSample makes the next slice detailed without discarding the
+// established phase: used at governor decision points, where a fresh
+// measurement is wanted but a no-op decision has not actually changed
+// machine behavior.
+func (d *Detector) ForceSample() {
+	d.sinceDetail = d.p.Interval
+}
+
+// Counts returns the cumulative (detailed, extrapolated) slice counts.
+func (d *Detector) Counts() (detailed, extrapolated int64) {
+	return d.detailed, d.extrapolated
+}
+
+// State is the detector's checkpointable phase state (the cumulative
+// counts are diagnostics and are not part of it).
+type State struct {
+	Sig         uint64
+	Streak      int
+	SinceDetail int
+}
+
+// State returns the current phase state, for warm-state checkpoints.
+func (d *Detector) State() State {
+	return State{Sig: d.sig, Streak: d.streak, SinceDetail: d.sinceDetail}
+}
+
+// RestoreState overwrites the phase state with a checkpoint.
+func (d *Detector) RestoreState(s State) {
+	d.sig = s.Sig
+	d.streak = s.Streak
+	d.sinceDetail = s.SinceDetail
+}

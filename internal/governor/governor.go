@@ -12,6 +12,7 @@
 package governor
 
 import (
+	"fmt"
 	"time"
 
 	"dora/internal/dvfs"
@@ -269,3 +270,66 @@ func NewFixed(opp dvfs.OPP) Governor { return fixed{opp: opp} }
 func (f fixed) Name() string            { return "fixed" }
 func (f fixed) Decide(Context) dvfs.OPP { return f.opp }
 func (f fixed) Reset()                  {}
+
+// Snapshotter is the optional interface a governor implements to make
+// its internal decision state checkpointable: the sampled-fidelity
+// warm-state checkpoints capture governor state at the warmup boundary
+// so a restored run decides exactly as a straight-through run would.
+// Stateless governors return nil. Governors that do not implement the
+// interface are simply not checkpointed (the run re-warms).
+type Snapshotter interface {
+	// StateSnapshot returns an immutable copy of the decision state.
+	StateSnapshot() any
+	// RestoreState overwrites the decision state with a snapshot
+	// previously returned by StateSnapshot on an equivalent governor.
+	RestoreState(any)
+	// StateKey identifies the governor's full configuration: two
+	// governors with equal StateKeys must decide identically from
+	// equal inputs. It is part of the warm-checkpoint cache key, so it
+	// must cover tunables that Name() does not (the fixed governor's
+	// pinned OPP, the interactive governor's thresholds).
+	StateKey() string
+}
+
+// interactiveState is the interactive governor's checkpointable state.
+type interactiveState struct {
+	lastRaise  time.Duration
+	floorUntil time.Duration
+}
+
+// StateSnapshot implements Snapshotter.
+func (g *interactive) StateSnapshot() any {
+	return interactiveState{lastRaise: g.lastRaise, floorUntil: g.floorUntil}
+}
+
+// RestoreState implements Snapshotter.
+func (g *interactive) RestoreState(s any) {
+	if st, ok := s.(interactiveState); ok {
+		g.lastRaise = st.lastRaise
+		g.floorUntil = st.floorUntil
+	}
+}
+
+// StateKey implements Snapshotter: the tunables determine every
+// decision.
+func (g *interactive) StateKey() string {
+	return fmt.Sprintf("interactive:%d:%g:%g:%d:%d", g.cfg.HispeedFreqMHz,
+		g.cfg.GoHispeedLoad, g.cfg.TargetLoad, g.cfg.MinSampleTime, g.cfg.AboveHispeedDelay)
+}
+
+// The stateless governors snapshot trivially.
+
+func (performance) StateSnapshot() any { return nil }
+func (performance) RestoreState(any)   {}
+func (performance) StateKey() string   { return "performance" }
+func (powersave) StateSnapshot() any   { return nil }
+func (powersave) RestoreState(any)     {}
+func (powersave) StateKey() string     { return "powersave" }
+func (fixed) StateSnapshot() any       { return nil }
+func (fixed) RestoreState(any)         {}
+
+// StateKey includes the pinned OPP: every fixed governor shares the
+// name "fixed", but their warmups differ per operating point.
+func (f fixed) StateKey() string {
+	return fmt.Sprintf("fixed:%d:%d:%g", f.opp.FreqMHz, f.opp.BusFreqMHz, f.opp.VoltageV)
+}

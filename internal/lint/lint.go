@@ -69,6 +69,7 @@ var simPackages = map[string]bool{
 	"soc": true, "cache": true, "membus": true, "dvfs": true,
 	"power": true, "thermal": true, "core": true, "workload": true,
 	"corun": true, "sim": true, "train": true, "experiment": true,
+	"fidelity": true,
 }
 
 // Diagnostic is one finding, positioned in module-relative file

@@ -56,6 +56,10 @@ type Config struct {
 	// already-sent body, exercising the daemon's dedup and run-cache
 	// paths (default 0).
 	RepeatFrac float64
+	// FidelityFrac is the fraction of fresh requests issued with
+	// fidelity "sampled" instead of the exact default (default 0),
+	// exercising the sampled simulation kernel under load.
+	FidelityFrac float64
 	// Pages and Governors are drawn from uniformly per request.
 	// Defaults: {"Alipay"} and {"interactive"}.
 	Pages     []string
@@ -101,6 +105,7 @@ type Report struct {
 	QPS           float64           `json:"qps,omitempty"`
 	CampaignFrac  float64           `json:"campaign_frac"`
 	RepeatFrac    float64           `json:"repeat_frac"`
+	FidelityFrac  float64           `json:"fidelity_frac,omitempty"`
 	Requests      uint64            `json:"requests"`
 	Errors        uint64            `json:"errors"`
 	MissedTicks   uint64            `json:"missed_ticks"`
@@ -153,6 +158,7 @@ func (r *Report) Validate() error {
 	for src := range r.Sources {
 		check(src == "sim" || src == "dedup" || src == "cache", "unknown source %q", src)
 	}
+	check(r.FidelityFrac >= 0 && r.FidelityFrac <= 1, "fidelity_frac %g outside [0,1]", r.FidelityFrac)
 	check(r.DedupRate >= 0 && r.DedupRate <= 1, "dedup_rate %g outside [0,1]", r.DedupRate)
 	check(r.CacheHitRate >= 0 && r.CacheHitRate <= 1, "cache_hit_rate %g outside [0,1]", r.CacheHitRate)
 	return errors.Join(errs...)
@@ -210,9 +216,16 @@ func (m *mixer) next() body {
 	gov := m.cfg.Governors[m.rng.Intn(len(m.cfg.Governors))]
 	seed := m.cfg.Seed + m.nextID*1009
 	m.nextID++
+	fid := ""
+	if m.rng.Float64() < m.cfg.FidelityFrac {
+		fid = "sampled"
+	}
 	var b body
 	if m.rng.Float64() < m.cfg.CampaignFrac {
 		req := map[string]any{"pages": []string{page}, "governors": []string{gov}, "seed": seed}
+		if fid != "" {
+			req["fidelity"] = fid
+		}
 		if m.cfg.WarmupMs > 0 {
 			req["warmup_ms"] = m.cfg.WarmupMs
 		}
@@ -223,6 +236,9 @@ func (m *mixer) next() body {
 		b = body{path: "/v1/campaign", payload: payload}
 	} else {
 		req := map[string]any{"page": page, "governor": gov, "seed": seed}
+		if fid != "" {
+			req["fidelity"] = fid
+		}
 		if m.cfg.WarmupMs > 0 {
 			req["warmup_ms"] = m.cfg.WarmupMs
 		}
@@ -397,6 +413,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		QPS:          cfg.QPS,
 		CampaignFrac: cfg.CampaignFrac,
 		RepeatFrac:   cfg.RepeatFrac,
+		FidelityFrac: cfg.FidelityFrac,
 		Requests:     requests,
 		Errors:       ctrs.errs.Load(),
 		MissedTicks:  ctrs.missed.Load(),

@@ -187,6 +187,36 @@ func TestMixerDeterministicSequence(t *testing.T) {
 	}
 }
 
+// TestMixerFidelityFrac: at FidelityFrac=1 every fresh body carries
+// fidelity "sampled"; at the 0 default none do.
+func TestMixerFidelityFrac(t *testing.T) {
+	gen := func(frac float64) []body {
+		cfg := Config{
+			Pages:        []string{"Alipay"},
+			Governors:    []string{"interactive"},
+			CampaignFrac: 0.3,
+			FidelityFrac: frac,
+			Seed:         7,
+		}
+		m := &mixer{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: &cfg}
+		out := make([]body, 20)
+		for i := range out {
+			out[i] = m.next()
+		}
+		return out
+	}
+	for _, r := range gen(1) {
+		if !strings.Contains(string(r.payload), `"fidelity":"sampled"`) {
+			t.Fatalf("FidelityFrac=1 body lacks sampled fidelity: %s %s", r.path, r.payload)
+		}
+	}
+	for _, r := range gen(0) {
+		if strings.Contains(string(r.payload), "fidelity") {
+			t.Fatalf("FidelityFrac=0 body carries fidelity: %s %s", r.path, r.payload)
+		}
+	}
+}
+
 func TestRunRequiresBaseURL(t *testing.T) {
 	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Fatal("Run with empty BaseURL succeeded, want error")

@@ -120,3 +120,40 @@ func (b *BankModel) Reset() {
 	}
 	b.hits, b.misses, b.conflicts = 0, 0, 0
 }
+
+// BankSnapshot is a deep copy of the bank model's warm state: every
+// open-row register plus the hit/miss/conflict counters.
+type BankSnapshot struct {
+	OpenRow   []int64
+	Valid     []bool
+	Hits      uint64
+	Misses    uint64
+	Conflicts uint64
+}
+
+// Snapshot captures the bank-model state for a simulation checkpoint.
+func (b *BankModel) Snapshot() BankSnapshot {
+	s := BankSnapshot{
+		OpenRow:   make([]int64, len(b.openRow)),
+		Valid:     make([]bool, len(b.valid)),
+		Hits:      b.hits,
+		Misses:    b.misses,
+		Conflicts: b.conflicts,
+	}
+	copy(s.OpenRow, b.openRow)
+	copy(s.Valid, b.valid)
+	return s
+}
+
+// Restore overwrites the bank-model state with a snapshot from a model
+// of the same geometry.
+func (b *BankModel) Restore(s BankSnapshot) {
+	if len(s.OpenRow) != len(b.openRow) {
+		panic("membus: bank snapshot geometry mismatch")
+	}
+	copy(b.openRow, s.OpenRow)
+	copy(b.valid, s.Valid)
+	b.hits = s.Hits
+	b.misses = s.Misses
+	b.conflicts = s.Conflicts
+}

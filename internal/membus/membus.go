@@ -221,3 +221,40 @@ func (b *Bus) Reset() {
 		b.window[i] = 0
 	}
 }
+
+// Snapshot is a deep copy of the bus's warm state: frequency, the
+// utilization estimate the queueing factor feeds on, the per-owner
+// transaction window, and the lifetime energy/transaction totals.
+type Snapshot struct {
+	FreqMHz  int
+	LastUtil float64
+	Window   []int64
+	TotalTx  int64
+	TotalEJ  float64
+}
+
+// Snapshot captures the bus state for a simulation checkpoint.
+func (b *Bus) Snapshot() Snapshot {
+	s := Snapshot{
+		FreqMHz:  b.freqMHz,
+		LastUtil: b.lastUtil,
+		Window:   make([]int64, len(b.window)),
+		TotalTx:  b.totalTx,
+		TotalEJ:  b.totalEJ,
+	}
+	copy(s.Window, b.window)
+	return s
+}
+
+// Restore overwrites the bus state with a snapshot from a bus of the
+// same owner count.
+func (b *Bus) Restore(s Snapshot) {
+	if len(s.Window) != len(b.window) {
+		panic("membus: snapshot owner-count mismatch")
+	}
+	b.freqMHz = s.FreqMHz
+	b.lastUtil = s.LastUtil
+	copy(b.window, s.Window)
+	b.totalTx = s.TotalTx
+	b.totalEJ = s.TotalEJ
+}

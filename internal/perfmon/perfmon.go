@@ -123,3 +123,22 @@ func (s *Sampler) Window(core int, cur Counters) Counters {
 
 // Reset forgets all previous snapshots.
 func (s *Sampler) Reset() { s.last = make(map[int]Counters) }
+
+// Snapshot returns a copy of the sampler's window state, for the
+// sampled-fidelity warm-state checkpoints.
+func (s *Sampler) Snapshot() map[int]Counters {
+	out := make(map[int]Counters, len(s.last))
+	for k, v := range s.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore overwrites the window state with a snapshot (copied; the
+// snapshot stays immutable and shareable).
+func (s *Sampler) Restore(snap map[int]Counters) {
+	s.last = make(map[int]Counters, len(snap))
+	for k, v := range snap {
+		s.last[k] = v
+	}
+}

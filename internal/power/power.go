@@ -211,3 +211,23 @@ func clamp01(x float64) float64 {
 	}
 	return x
 }
+
+// MeterSnapshot is the integrator's state, exported for simulation
+// checkpoints.
+type MeterSnapshot struct {
+	EnergyJ float64
+	Elapsed time.Duration
+	PeakW   float64
+}
+
+// Snapshot captures the meter state.
+func (m *Meter) Snapshot() MeterSnapshot {
+	return MeterSnapshot{EnergyJ: m.energyJ, Elapsed: m.elapsed, PeakW: m.peakW}
+}
+
+// Restore overwrites the meter state with a snapshot.
+func (m *Meter) Restore(s MeterSnapshot) {
+	m.energyJ = s.EnergyJ
+	m.elapsed = s.Elapsed
+	m.peakW = s.PeakW
+}

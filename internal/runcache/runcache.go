@@ -31,7 +31,10 @@ import (
 // the cached entries were produced under. Bump it whenever simulation
 // timing, power calibration, or the cached result types change, so
 // stale measurements are re-simulated rather than silently reused.
-const SchemaVersion = 1
+//
+// v2: the key schema is namespaced by simulation fidelity — exact and
+// sampled measurements of the same cell must never alias.
+const SchemaVersion = 2
 
 // file is the on-disk format.
 type file struct {

@@ -2,6 +2,7 @@ package runcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -177,7 +178,7 @@ func TestConcurrentAccess(t *testing.T) {
 // silently served zero-valued simulation results.
 func TestOpenDropsUnusableEntries(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.json")
-	content := `{"version":1,"entries":{"nil":null,"ok":{"A":3}," pad":  null }}`
+	content := fmt.Sprintf(`{"version":%d,"entries":{"nil":null,"ok":{"A":3}," pad":  null }}`, SchemaVersion)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}

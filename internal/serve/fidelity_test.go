@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"dora/internal/runcache"
+)
+
+// TestFidelityValidation: the fidelity enum is validated at decode
+// time, before any simulation is admitted.
+func TestFidelityValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/load", `{"page":"Alipay","fidelity":"approximate"}`},
+		{"/v1/load", `{"page":"Alipay","fidelity":"EXACT"}`},
+		{"/v1/campaign", `{"pages":["Alipay"],"fidelity":"fast"}`},
+	} {
+		resp, data := postJSON(t, ts.URL+tc.path, tc.body)
+		wantError(t, resp, data, http.StatusBadRequest, CodeBadRequest)
+	}
+}
+
+// TestFidelityHeaderAndCanonicalization: /v1/load echoes the
+// normalized fidelity in X-Dora-Fidelity, and an omitted fidelity is
+// the same request as an explicit "exact" — same cache entry, same
+// bytes — while "sampled" never aliases either.
+func TestFidelityHeaderAndCanonicalization(t *testing.T) {
+	cache, err := runcache.Open(t.TempDir() + "/cache.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Cache: cache}, nil)
+
+	resp, implicit := postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(SourceHeader) != "sim" {
+		t.Fatalf("implicit-exact request: %d source %q", resp.StatusCode, resp.Header.Get(SourceHeader))
+	}
+	if got := resp.Header.Get(FidelityHeader); got != "exact" {
+		t.Fatalf("%s = %q, want exact", FidelityHeader, got)
+	}
+
+	// Explicit "exact" must hit the entry the implicit request stored.
+	resp, explicit := postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5,"fidelity":"exact"}`)
+	if src := resp.Header.Get(SourceHeader); src != "cache" {
+		t.Fatalf("explicit-exact source = %q, want cache", src)
+	}
+	if !bytes.Equal(implicit, explicit) {
+		t.Fatalf("implicit and explicit exact bodies differ:\n %s\n vs %s", implicit, explicit)
+	}
+
+	// Sampled must not alias the exact entry: a fresh simulation runs.
+	execsBefore := s.mExecs.Value()
+	resp, sampled := postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5,"fidelity":"sampled"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled request: %d body %s", resp.StatusCode, sampled)
+	}
+	if src := resp.Header.Get(SourceHeader); src != "sim" {
+		t.Fatalf("sampled source = %q, want sim (must not alias the exact cache entry)", src)
+	}
+	if got := resp.Header.Get(FidelityHeader); got != "sampled" {
+		t.Fatalf("%s = %q, want sampled", FidelityHeader, got)
+	}
+	if got := s.mExecs.Value(); got != execsBefore+1 {
+		t.Fatalf("sampled request ran %d simulations, want 1", got-execsBefore)
+	}
+
+	// The sampled entry is itself cached, keyed apart from exact.
+	resp, sampled2 := postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5,"fidelity":"sampled"}`)
+	if src := resp.Header.Get(SourceHeader); src != "cache" {
+		t.Fatalf("repeat sampled source = %q, want cache", src)
+	}
+	if !bytes.Equal(sampled, sampled2) {
+		t.Fatalf("cached sampled body differs:\n %s\n vs %s", sampled2, sampled)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5}`)
+	if src := resp.Header.Get(SourceHeader); src != "cache" {
+		t.Fatalf("exact after sampled source = %q, want cache (sampled must not evict exact)", src)
+	}
+}
+
+// TestDefaultFidelityConfig: a server started with a sampled default
+// (dorad -fidelity=sampled) applies it to requests that omit the
+// field, while an explicit "exact" in the body still wins.
+func TestDefaultFidelityConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultFidelity: "sampled"}, nil)
+	resp, body := postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(FidelityHeader); got != "sampled" {
+		t.Fatalf("%s = %q, want sampled (server default)", FidelityHeader, got)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/load", `{"page":"Alipay","seed":5,"fidelity":"exact"}`)
+	if got := resp.Header.Get(FidelityHeader); got != "exact" {
+		t.Fatalf("%s = %q, want exact (explicit request fidelity wins)", FidelityHeader, got)
+	}
+}
+
+// TestCampaignFidelityThreaded: a sampled campaign answers every cell
+// and each cell matches the body /v1/load returns for the same
+// normalized request — fidelity included — at the grid-derived seed.
+func TestCampaignFidelityThreaded(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	resp, body := postJSON(t, ts.URL+"/v1/campaign",
+		`{"pages":["Alipay","Twitter"],"corunners":["","backprop"],"seed":3,"fidelity":"sampled"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign status = %d, body %s", resp.StatusCode, body)
+	}
+	var cr CampaignResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cr.Cells))
+	}
+	for _, cell := range cr.Cells {
+		if cell.Error != nil {
+			t.Fatalf("cell %s/%s failed: %v", cell.Page, cell.CoRunner, cell.Error)
+		}
+		single := fmt.Sprintf(`{"page":%q,"corunner":%q,"seed":%d,"fidelity":"sampled"}`,
+			cell.Page, cell.CoRunner, cell.Seed)
+		resp, want := postJSON(t, ts.URL+"/v1/load", single)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single load for cell %s/%s: %d", cell.Page, cell.CoRunner, resp.StatusCode)
+		}
+		if !bytes.Equal(cell.Result, want) {
+			t.Fatalf("cell %s/%s differs from /v1/load:\n %s\n vs %s",
+				cell.Page, cell.CoRunner, cell.Result, want)
+		}
+	}
+}

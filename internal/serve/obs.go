@@ -42,6 +42,10 @@ const ErrorCodeHeader = "X-Dora-Error-Code"
 // SourceHeader names the response-provenance header (sim|dedup|cache).
 const SourceHeader = "X-Dora-Source"
 
+// FidelityHeader echoes the simulation fidelity a /v1/load response
+// was computed under (exact|sampled), after normalization.
+const FidelityHeader = "X-Dora-Fidelity"
+
 // ridSeq numbers requests within this process; ridPrefix makes IDs
 // from different daemon instances distinguishable in merged logs.
 var (
@@ -242,6 +246,7 @@ func (s *Server) withObs(h http.Handler) http.Handler {
 			Int("status", sr.status).
 			Str("outcome", outcome).
 			Str("source", sr.Header().Get(SourceHeader)).
+			Str("fidelity", sr.Header().Get(FidelityHeader)).
 			Dur("queue_wait_ms", obs.queueWait).
 			Dur("sim_ms", time.Duration(obs.simNanos.Load())).
 			Dur("total_ms", elapsed).

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"dora/internal/corun"
+	"dora/internal/fidelity"
 	"dora/internal/webgen"
 )
 
@@ -83,6 +84,12 @@ type LoadRequest struct {
 	// past it the daemon answers 504 and aborts the simulation. 0 takes
 	// the server default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Fidelity selects the simulation kernel: "exact" (default) or
+	// "sampled" (phase-detected fast-forwarding; see DESIGN.md §10).
+	// Normalized to the canonical mode name, so "" and "exact" are the
+	// same request for dedup and caching, while exact and sampled never
+	// share a cache entry.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // CampaignRequest is the JSON body of POST /v1/campaign: the cross
@@ -100,6 +107,8 @@ type CampaignRequest struct {
 	Seed       int64 `json:"seed,omitempty"`
 	// TimeoutMs bounds the whole batch.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Fidelity applies to every cell (see LoadRequest.Fidelity).
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // CampaignCell is one grid cell of a campaign response. Result holds
@@ -184,9 +193,19 @@ func checkDurationMs(name string, v int64) *apiError {
 // explicit governor) or a structured error. It never panics on any
 // input — FuzzLoadRequestDecode holds it to that.
 func DecodeLoadRequest(data []byte) (LoadRequest, *apiError) {
+	return DecodeLoadRequestDefault(data, "")
+}
+
+// DecodeLoadRequestDefault is DecodeLoadRequest with a server-level
+// default fidelity (dorad -fidelity) substituted when the body omits
+// the field. An explicit fidelity in the body always wins.
+func DecodeLoadRequestDefault(data []byte, defaultFidelity string) (LoadRequest, *apiError) {
 	var req LoadRequest
 	if apiErr := decodeStrict(data, &req); apiErr != nil {
 		return LoadRequest{}, apiErr
+	}
+	if req.Fidelity == "" {
+		req.Fidelity = defaultFidelity
 	}
 	return normalizeLoadRequest(req)
 }
@@ -247,6 +266,11 @@ func normalizeLoadRequest(req LoadRequest) (LoadRequest, *apiError) {
 	if req.AmbientC < -40 || req.AmbientC > 85 {
 		return LoadRequest{}, errBadRequest("ambient_c must be in [-40, 85], got %g", req.AmbientC)
 	}
+	mode, err := fidelity.ParseMode(req.Fidelity)
+	if err != nil {
+		return LoadRequest{}, errBadRequest("unknown fidelity %q (choose \"exact\" or \"sampled\")", req.Fidelity)
+	}
+	req.Fidelity = mode.String()
 	return req, nil
 }
 
@@ -256,9 +280,18 @@ func normalizeLoadRequest(req LoadRequest) (LoadRequest, *apiError) {
 // governors) and each cell's seed depend only on the request, never on
 // scheduling.
 func DecodeCampaignRequest(data []byte) (CampaignRequest, []LoadRequest, *apiError) {
+	return DecodeCampaignRequestDefault(data, "")
+}
+
+// DecodeCampaignRequestDefault is DecodeCampaignRequest with a
+// server-level default fidelity (see DecodeLoadRequestDefault).
+func DecodeCampaignRequestDefault(data []byte, defaultFidelity string) (CampaignRequest, []LoadRequest, *apiError) {
 	var req CampaignRequest
 	if apiErr := decodeStrict(data, &req); apiErr != nil {
 		return CampaignRequest{}, nil, apiErr
+	}
+	if req.Fidelity == "" {
+		req.Fidelity = defaultFidelity
 	}
 	if len(req.Pages) == 0 {
 		return CampaignRequest{}, nil, errBadRequest("pages is required and must be non-empty")
@@ -294,6 +327,7 @@ func DecodeCampaignRequest(data []byte) (CampaignRequest, []LoadRequest, *apiErr
 					DeadlineMs: req.DeadlineMs,
 					WarmupMs:   req.WarmupMs,
 					Seed:       req.Seed + i*campaignSeedStride,
+					Fidelity:   req.Fidelity,
 				})
 				if apiErr != nil {
 					return CampaignRequest{}, nil, apiErr

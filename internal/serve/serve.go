@@ -40,6 +40,7 @@ import (
 	"dora/internal/clock"
 	"dora/internal/core"
 	"dora/internal/corun"
+	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/obslog"
 	"dora/internal/pool"
@@ -80,6 +81,11 @@ type Config struct {
 	// Cache, when set, serves repeat requests from disk and records
 	// fresh ones (the same persistent store the CLIs use).
 	Cache *runcache.Cache
+	// DefaultFidelity is the simulation fidelity applied to requests
+	// that omit the field ("" = exact). A request's explicit fidelity
+	// always wins. NewServer canonicalizes the value, falling back to
+	// exact if it is not a known mode.
+	DefaultFidelity string
 	// Metrics receives request- and simulation-level metrics
 	// (nil = a fresh registry, exposed at GET /metrics).
 	Metrics *telemetry.Registry
@@ -163,6 +169,11 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	defFid, err := fidelity.ParseMode(cfg.DefaultFidelity)
+	if err != nil {
+		defFid = fidelity.Exact
+	}
+	cfg.DefaultFidelity = defFid.String()
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -450,6 +461,9 @@ func (s *Server) runSim(ctx context.Context, req LoadRequest) (sim.Result, error
 	if req.DecisionIntervalMs > 0 {
 		interval = time.Duration(req.DecisionIntervalMs) * time.Millisecond
 	}
+	// req.Fidelity was canonicalized at decode time, so ParseMode
+	// cannot fail here; a zero-valued request still runs exact.
+	mode, _ := fidelity.ParseMode(req.Fidelity)
 	return sim.LoadPageCtx(ctx, sim.Options{
 		SoC:              s.device,
 		Governor:         gov,
@@ -460,6 +474,7 @@ func (s *Server) runSim(ctx context.Context, req LoadRequest) (sim.Result, error
 		Seed:             req.Seed,
 		AmbientC:         req.AmbientC,
 		Metrics:          s.reg,
+		Fidelity:         mode,
 	}, wl)
 }
 
@@ -554,7 +569,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr)
 		return
 	}
-	req, apiErr := DecodeLoadRequest(data)
+	req, apiErr := DecodeLoadRequestDefault(data, s.cfg.DefaultFidelity)
 	if apiErr != nil {
 		s.writeError(w, apiErr)
 		return
@@ -585,6 +600,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Dora-Source", source)
+	w.Header().Set(FidelityHeader, req.Fidelity)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -608,7 +624,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr)
 		return
 	}
-	_, cells, apiErr := DecodeCampaignRequest(data)
+	_, cells, apiErr := DecodeCampaignRequestDefault(data, s.cfg.DefaultFidelity)
 	if apiErr != nil {
 		s.writeError(w, apiErr)
 		return

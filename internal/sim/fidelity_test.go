@@ -1,0 +1,382 @@
+package sim
+
+// Validation harness for -fidelity=sampled: replays page × co-runner
+// cells in both fidelity modes and gates the sampled mode's
+// per-observable relative error (load time, energy, peak temperature)
+// against the committed budget — ≤2% mean, ≤5% max. The full 18-page
+// matrix with wall-clock speedup measurement lives behind
+// DORA_BENCH_SAMPLED=1 and is driven by scripts/bench_sampled.sh to
+// produce BENCH_SAMPLED.json; the unguarded tests here are the CI
+// smoke harness.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"dora/internal/corun"
+	"dora/internal/fidelity"
+	"dora/internal/governor"
+	"dora/internal/soc"
+	"dora/internal/webgen"
+)
+
+// The committed error budget (also quoted in DESIGN.md §10 and
+// enforced against the full matrix by scripts/bench_sampled.sh).
+const (
+	budgetMeanErr = 0.02
+	budgetMaxErr  = 0.05
+)
+
+// sampledOpts returns the canonical experiment options for fidelity
+// validation: the Nexus 5 device, the interactive governor, seed 1.
+func sampledOpts(mode fidelity.Mode, ckpts *CheckpointStore) Options {
+	return Options{
+		SoC:         soc.NexusFive(),
+		Governor:    governor.NewInteractive(governor.DefaultInteractiveConfig()),
+		Seed:        1,
+		Fidelity:    mode,
+		Checkpoints: ckpts,
+	}
+}
+
+func fidelityWorkload(t testing.TB, page, kernel string) Workload {
+	t.Helper()
+	spec, err := webgen.ByName(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Workload{Page: spec}
+	if kernel != "" {
+		k, err := corun.ByName(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl.CoRun = &k
+	}
+	return wl
+}
+
+func relErr(exact, approx float64) float64 {
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(approx-exact) / math.Abs(exact)
+}
+
+// fidelityCell is one matrix cell's paired measurement.
+type fidelityCell struct {
+	Page        string  `json:"page"`
+	CoRun       string  `json:"corun"`
+	LoadErr     float64 `json:"load_time_rel_err"`
+	EnergyErr   float64 `json:"energy_rel_err"`
+	PeakTempErr float64 `json:"peak_temp_rel_err"`
+	ExactMs     float64 `json:"exact_wall_ms"`
+	SampledMs   float64 `json:"sampled_wall_ms"`
+}
+
+// runCell measures one (page, kernel) cell in both modes and returns
+// the per-observable relative errors plus wall-clock times.
+func runCell(t testing.TB, page, kernel string, ckpts *CheckpointStore) fidelityCell {
+	t.Helper()
+	wl := fidelityWorkload(t, page, kernel)
+
+	t0 := time.Now()
+	exact, err := LoadPage(sampledOpts(fidelity.Exact, nil), wl)
+	if err != nil {
+		t.Fatalf("exact %s+%s: %v", page, kernel, err)
+	}
+	dExact := time.Since(t0)
+
+	t0 = time.Now()
+	samp, err := LoadPage(sampledOpts(fidelity.Sampled, ckpts), wl)
+	if err != nil {
+		t.Fatalf("sampled %s+%s: %v", page, kernel, err)
+	}
+	dSamp := time.Since(t0)
+
+	return fidelityCell{
+		Page:        page,
+		CoRun:       kernel,
+		LoadErr:     relErr(float64(exact.LoadTime), float64(samp.LoadTime)),
+		EnergyErr:   relErr(exact.EnergyJ, samp.EnergyJ),
+		PeakTempErr: relErr(exact.MaxSoCTempC, samp.MaxSoCTempC),
+		ExactMs:     float64(dExact) / 1e6,
+		SampledMs:   float64(dSamp) / 1e6,
+	}
+}
+
+// gateBudget asserts the ≤2% mean / ≤5% max per-observable budget over
+// a set of cells and returns the summary statistics.
+func gateBudget(t testing.TB, cells []fidelityCell) (meanErr, maxErr map[string]float64) {
+	t.Helper()
+	meanErr = map[string]float64{}
+	maxErr = map[string]float64{}
+	obs := func(name string, get func(fidelityCell) float64) {
+		var sum, max float64
+		for _, c := range cells {
+			e := get(c)
+			sum += e
+			if e > max {
+				max = e
+			}
+		}
+		mean := sum / float64(len(cells))
+		meanErr[name], maxErr[name] = mean, max
+		if mean > budgetMeanErr {
+			t.Errorf("%s: mean rel error %.3f%% exceeds %.0f%% budget", name, 100*mean, 100*budgetMeanErr)
+		}
+		if max > budgetMaxErr {
+			t.Errorf("%s: max rel error %.3f%% exceeds %.0f%% budget", name, 100*max, 100*budgetMaxErr)
+		}
+	}
+	obs("load_time", func(c fidelityCell) float64 { return c.LoadErr })
+	obs("energy", func(c fidelityCell) float64 { return c.EnergyErr })
+	obs("peak_temp", func(c fidelityCell) float64 { return c.PeakTempErr })
+	return meanErr, maxErr
+}
+
+// TestSampledErrorBudget is the CI smoke harness: a page × co-runner
+// matrix spanning both complexity classes and all co-run kernels,
+// gated against the committed error budget. Sampled runs share a
+// checkpoint store, so warm-state restore is on the validated path.
+func TestSampledErrorBudget(t *testing.T) {
+	pages := []string{"Alipay", "Twitter", "Reddit", "IMDB"}
+	kernels := []string{"", "backprop", "kmeans"}
+	if testing.Short() {
+		pages = []string{"Alipay", "Reddit"}
+		kernels = []string{"", "backprop"}
+	}
+	ckpts := NewCheckpointStore()
+	var cells []fidelityCell
+	for _, kern := range kernels {
+		for _, page := range pages {
+			c := runCell(t, page, kern, ckpts)
+			cells = append(cells, c)
+			t.Logf("%-10s %-8s load %.2f%% energy %.2f%% peakT %.3f%% (exact %.0fms sampled %.0fms)",
+				c.Page, c.CoRun, 100*c.LoadErr, 100*c.EnergyErr, 100*c.PeakTempErr, c.ExactMs, c.SampledMs)
+		}
+	}
+	mean, max := gateBudget(t, cells)
+	t.Logf("mean err: load %.3f%% energy %.3f%% peakT %.3f%%; max err: load %.3f%% energy %.3f%% peakT %.3f%%",
+		100*mean["load_time"], 100*mean["energy"], 100*mean["peak_temp"],
+		100*max["load_time"], 100*max["energy"], 100*max["peak_temp"])
+	if ckpts.Len() == 0 {
+		t.Error("checkpoint store stayed empty: warm-state path not exercised")
+	}
+}
+
+// TestSampledCheckpointDeterminism asserts the warm-state restore is
+// exact: a run that restores its warmup from a checkpoint left by a
+// different page's run is bit-identical to a run that simulates its
+// own warmup (and to a run with no checkpoint store at all).
+func TestSampledCheckpointDeterminism(t *testing.T) {
+	wl := fidelityWorkload(t, "Alipay", "backprop")
+
+	cold, err := LoadPage(sampledOpts(fidelity.Sampled, nil), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm a store with a different page (same co-runner and governor:
+	// the warm key is page-independent), then load the page of interest
+	// from the restored checkpoint.
+	ckpts := NewCheckpointStore()
+	if _, err := LoadPage(sampledOpts(fidelity.Sampled, ckpts), fidelityWorkload(t, "Reddit", "backprop")); err != nil {
+		t.Fatal(err)
+	}
+	if n := ckpts.Len(); n != 1 {
+		t.Fatalf("checkpoint store holds %d entries, want 1", n)
+	}
+	warm, err := LoadPage(sampledOpts(fidelity.Sampled, ckpts), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm-restored run diverged from cold run:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+}
+
+// TestSampledFixedSeedStable asserts sampled results are a pure
+// function of the options: two independent runs are bit-identical.
+func TestSampledFixedSeedStable(t *testing.T) {
+	wl := fidelityWorkload(t, "Twitter", "kmeans")
+	a, err := LoadPage(sampledOpts(fidelity.Sampled, NewCheckpointStore()), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadPage(sampledOpts(fidelity.Sampled, NewCheckpointStore()), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sampled runs with identical options diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestSampledCancellation asserts a cancelled context aborts a sampled
+// load promptly — the context is polled every slice, including between
+// extrapolated slices.
+func TestSampledCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	wl := fidelityWorkload(t, "Aliexpress", "backprop")
+	t0 := time.Now()
+	_, err := LoadPageCtx(ctx, sampledOpts(fidelity.Sampled, nil), wl)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("cancelled sampled load returned nil error")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled sampled load took %v to abort", elapsed)
+	}
+}
+
+// benchReport is the BENCH_SAMPLED.json payload.
+type benchReport struct {
+	GeneratedBy       string             `json:"generated_by"`
+	ConfigFingerprint string             `json:"config_fingerprint"`
+	Seed              int64              `json:"seed"`
+	Fidelity          string             `json:"fidelity"`
+	Params            fidelity.Params    `json:"params"`
+	Pages             int                `json:"pages"`
+	CoRuns            []string           `json:"coruns"`
+	Cells             int                `json:"cells"`
+	MeanErr           map[string]float64 `json:"mean_rel_err"`
+	MaxErr            map[string]float64 `json:"max_rel_err"`
+	ExactWallMs       float64            `json:"exact_wall_ms"`
+	SampledWallMs     float64            `json:"sampled_wall_ms"`
+	Speedup           float64            `json:"campaign_speedup"`
+	Checkpoints       int                `json:"warm_checkpoints"`
+	Budget            map[string]float64 `json:"budget"`
+	PerCell           []fidelityCell     `json:"per_cell"`
+}
+
+// TestBenchSampledMatrix is the full validation matrix — every
+// generated page against every co-run kernel, in both modes, with a
+// shared checkpoint store amortizing warmups across the sampled page
+// sweep exactly as train.Campaign does. It runs only under
+// DORA_BENCH_SAMPLED=1 (scripts/bench_sampled.sh) and writes the
+// benchReport JSON to DORA_BENCH_SAMPLED_OUT, failing on any error- or
+// speedup-budget violation.
+func TestBenchSampledMatrix(t *testing.T) {
+	if os.Getenv("DORA_BENCH_SAMPLED") == "" {
+		t.Skip("full fidelity matrix runs under scripts/bench_sampled.sh (DORA_BENCH_SAMPLED=1)")
+	}
+	pages := webgen.Names()
+	kernels := []string{"", "backprop", "kmeans"}
+	ckpts := NewCheckpointStore()
+	var cells []fidelityCell
+	var exactWall, sampledWall time.Duration
+	for _, kern := range kernels {
+		for _, page := range pages {
+			c := runCell(t, page, kern, ckpts)
+			cells = append(cells, c)
+			exactWall += time.Duration(c.ExactMs * 1e6)
+			sampledWall += time.Duration(c.SampledMs * 1e6)
+			t.Logf("%-10s %-8s load %.2f%% energy %.2f%% peakT %.3f%% (exact %.0fms sampled %.0fms)",
+				c.Page, c.CoRun, 100*c.LoadErr, 100*c.EnergyErr, 100*c.PeakTempErr, c.ExactMs, c.SampledMs)
+		}
+	}
+	mean, max := gateBudget(t, cells)
+	speedup := float64(exactWall) / float64(sampledWall)
+	t.Logf("matrix: %d cells, exact %v, sampled %v, speedup %.2fx, %d warm checkpoints",
+		len(cells), exactWall.Round(time.Millisecond), sampledWall.Round(time.Millisecond), speedup, ckpts.Len())
+	if speedup < 5 {
+		t.Errorf("campaign speedup %.2fx below the 5x budget", speedup)
+	}
+
+	out := os.Getenv("DORA_BENCH_SAMPLED_OUT")
+	if out == "" {
+		return
+	}
+	opts := sampledOpts(fidelity.Sampled, nil)
+	report := benchReport{
+		GeneratedBy:       "go test -run TestBenchSampledMatrix (scripts/bench_sampled.sh)",
+		ConfigFingerprint: ConfigFingerprint(opts.SoC),
+		Seed:              opts.Seed,
+		Fidelity:          fidelity.Sampled.String(),
+		Params:            fidelity.DefaultParams(),
+		Pages:             len(pages),
+		CoRuns:            kernels,
+		Cells:             len(cells),
+		MeanErr:           mean,
+		MaxErr:            max,
+		ExactWallMs:       float64(exactWall) / 1e6,
+		SampledWallMs:     float64(sampledWall) / 1e6,
+		Speedup:           speedup,
+		Checkpoints:       ckpts.Len(),
+		Budget: map[string]float64{
+			"mean_rel_err": budgetMeanErr,
+			"max_rel_err":  budgetMaxErr,
+			"min_speedup":  5,
+		},
+		PerCell: cells,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// TestBenchSampledReportFresh is the staleness gate on the committed
+// BENCH_SAMPLED.json: the document must have been generated against
+// the current device configuration, detector parameters, and budget,
+// and its recorded errors and speedup must satisfy that budget. Any
+// simulator or detector change that shifts the fingerprint or params
+// fails here until `make bench-sampled` re-records the file.
+func TestBenchSampledReportFresh(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_SAMPLED.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_SAMPLED.json unreadable (run scripts/bench_sampled.sh): %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_SAMPLED.json does not parse: %v", err)
+	}
+	opts := sampledOpts(fidelity.Sampled, nil)
+	if want := ConfigFingerprint(opts.SoC); rep.ConfigFingerprint != want {
+		t.Errorf("config_fingerprint %s is stale (current %s): re-run scripts/bench_sampled.sh", rep.ConfigFingerprint, want)
+	}
+	if want := fidelity.DefaultParams(); rep.Params != want {
+		t.Errorf("params %+v are stale (current defaults %+v): re-run scripts/bench_sampled.sh", rep.Params, want)
+	}
+	if rep.Fidelity != fidelity.Sampled.String() {
+		t.Errorf("fidelity = %q, want %q", rep.Fidelity, fidelity.Sampled.String())
+	}
+	if want := len(webgen.Names()); rep.Pages != want {
+		t.Errorf("pages = %d, corpus has %d: re-run scripts/bench_sampled.sh", rep.Pages, want)
+	}
+	if rep.Budget["mean_rel_err"] != budgetMeanErr || rep.Budget["max_rel_err"] != budgetMaxErr {
+		t.Errorf("recorded budget %+v differs from the committed budget (mean %.2f, max %.2f)",
+			rep.Budget, budgetMeanErr, budgetMaxErr)
+	}
+	for _, obs := range []string{"load_time", "energy", "peak_temp"} {
+		if rep.MeanErr[obs] > budgetMeanErr {
+			t.Errorf("%s: recorded mean rel error %.4f exceeds %.2f budget", obs, rep.MeanErr[obs], budgetMeanErr)
+		}
+		if rep.MaxErr[obs] > budgetMaxErr {
+			t.Errorf("%s: recorded max rel error %.4f exceeds %.2f budget", obs, rep.MaxErr[obs], budgetMaxErr)
+		}
+	}
+	if rep.Speedup < rep.Budget["min_speedup"] || rep.Speedup < 5 {
+		t.Errorf("recorded campaign speedup %.2fx below the 5x budget", rep.Speedup)
+	}
+	if rep.Cells != rep.Pages*len(rep.CoRuns) || len(rep.PerCell) != rep.Cells {
+		t.Errorf("cell accounting inconsistent: cells=%d pages=%d coruns=%d per_cell=%d",
+			rep.Cells, rep.Pages, len(rep.CoRuns), len(rep.PerCell))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dora/internal/corun"
+	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/perfmon"
 	"dora/internal/power"
@@ -65,6 +66,23 @@ type Options struct {
 	// Metrics, when set, accumulates run counters, gauges, and
 	// histograms (decisions, DVFS switches, MPKI distribution, ...).
 	Metrics *telemetry.Registry
+
+	// Fidelity selects the simulation fidelity: fidelity.Exact (the
+	// zero value, and the mode the golden campaign fingerprint is
+	// pinned to) replays every sampled reference through the cache
+	// hierarchy; fidelity.Sampled detects stable phases and
+	// extrapolates most slices from measured rates (see DESIGN.md §10).
+	Fidelity fidelity.Mode
+	// FidelityParams tunes sampled mode; zero fields take the
+	// calibrated defaults.
+	FidelityParams fidelity.Params
+	// Checkpoints, when set in sampled mode, shares warm-state
+	// checkpoints across runs: grid points with an identical warm
+	// prefix (same config, seed, co-runner, governor, warmup) restore
+	// it instead of re-simulating the warmup. Ignored in exact mode
+	// and whenever any observer (TraceFn/Sink/Tracer/Decisions/
+	// Metrics) is attached.
+	Checkpoints *CheckpointStore
 }
 
 func (o *Options) fillDefaults() {
@@ -143,6 +161,9 @@ func LoadPageCtx(ctx context.Context, opts Options, wl Workload) (Result, error)
 	}
 	if wl.Page.Name == "" {
 		return Result{}, errors.New("sim: empty page")
+	}
+	if opts.Fidelity == fidelity.Sampled {
+		return loadPageSampled(ctx, opts, wl)
 	}
 
 	rcfg := render.DefaultConfig()

@@ -205,6 +205,16 @@ type coreState struct {
 	// Per-slice accumulators for the power model.
 	sliceBusyNs  int64
 	sliceStallNs int64
+
+	// sliceTouches counts sampled touches issued since the last
+	// StepSliceStats reset — the denominator of the per-touch rates the
+	// sampled-fidelity extrapolator measures on detailed slices.
+	sliceTouches int64
+
+	// nextCalls counts Next() calls on the current source since it was
+	// assigned, so a checkpoint restore can replay a freshly built
+	// deterministic source to the same position.
+	nextCalls int64
 }
 
 // Machine is the simulated SoC plus whole-device environment.
@@ -240,6 +250,17 @@ type Machine struct {
 	cores []coreState
 	now   int64 // ns
 	rng   *rand.Rand
+	seed  int64 // construction seed, for checkpoint-restore RNG replay
+
+	// rngLog, when non-nil, records the kind of every shared-RNG draw
+	// (jitter normal, generator seed) so a checkpoint restore can replay
+	// the stream against a fresh seeded generator. Enabled only while a
+	// sampled-fidelity warmup is checkpointable.
+	rngLog []byte
+
+	// ff holds the per-core fractional-charge carries of the sampled-
+	// fidelity fast-forward path (lazily sized; nil in exact-only runs).
+	ff []ffCore
 
 	meter      power.Meter
 	lastPower  power.Breakdown
@@ -312,6 +333,7 @@ func New(cfg Config, seed int64) (*Machine, error) {
 		l2HitStallNs: int64(cfg.L2HitNs * float64(scale)),
 		cores:        make([]coreState, cfg.Cores),
 		rng:          rand.New(rand.NewSource(seed)),
+		seed:         seed,
 		opp:          cfg.OPPs.Min(),
 		corePowers:   make([]float64, cfg.Cores),
 	}
@@ -364,6 +386,10 @@ func (m *Machine) AssignSource(core int, src workload.Source) error {
 	c.blkPos, c.blkLen, c.genRem = 0, 0, 0
 	c.posBases = c.posBases[:0]
 	c.posVals = c.posVals[:0]
+	c.nextCalls = 0
+	if m.ff != nil {
+		m.ff[core] = ffCore{}
+	}
 	return nil
 }
 
@@ -380,6 +406,10 @@ func (m *Machine) ClearSource(core int) {
 		c.blkPos, c.blkLen, c.genRem = 0, 0, 0
 		c.posBases = c.posBases[:0]
 		c.posVals = c.posVals[:0]
+		c.nextCalls = 0
+		if m.ff != nil {
+			m.ff[core] = ffCore{}
+		}
 	}
 }
 
@@ -642,6 +672,7 @@ func (m *Machine) advanceCore(i int, budget int64) {
 				return
 			}
 			seg, ok := c.src.Next()
+			c.nextCalls++
 			if !ok {
 				c.done = true
 				if m.tracer != nil {
@@ -696,6 +727,7 @@ func (m *Machine) advanceCore(i int, budget int64) {
 				// Chunk complete: issue the sampled touch.
 				c.pendingStall += m.access(i, c)
 				c.remSamples--
+				c.sliceTouches++
 			}
 			if c.remSamples == 0 && c.remOps == 0 {
 				c.idleNs += c.seg.IdleNs
@@ -726,6 +758,9 @@ func (m *Machine) loadSegment(core int, c *coreState, seg workload.Segment) {
 		c.spanStartNs = m.now
 	}
 	if m.cfg.JitterPct > 0 && seg.Ops > 0 {
+		if m.rngLog != nil {
+			m.rngLog = append(m.rngLog, rngOpNorm)
+		}
 		f := 1 + m.rng.NormFloat64()*m.cfg.JitterPct
 		if f < 0.5 {
 			f = 0.5
@@ -754,6 +789,9 @@ func (m *Machine) loadSegment(core int, c *coreState, seg workload.Segment) {
 			scaled.FootprintBytes = int64(m.cfg.LineBytes)
 		}
 		start := c.segPosAdvance(seg.Base, uint64(samples))
+		if m.rngLog != nil {
+			m.rngLog = append(m.rngLog, rngOpU64)
+		}
 		c.gen.Reinit(scaled, m.rng.Uint64(), start)
 		c.genRem = samples
 		if c.addrBlk == nil {

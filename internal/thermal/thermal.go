@@ -148,3 +148,29 @@ func (m *Model) Reset() {
 func (m *Model) SteadyStateSoC(p float64) float64 {
 	return m.cfg.AmbientC + m.cfg.SoCResistance*math.Max(0, p)
 }
+
+// Snapshot is the thermal model's warm state: the SoC node temperature
+// and every core's local rise, plus the ambient the model references.
+type Snapshot struct {
+	SoCTemp  float64
+	CoreRise []float64
+	AmbientC float64
+}
+
+// Snapshot captures the thermal state for a simulation checkpoint.
+func (m *Model) Snapshot() Snapshot {
+	s := Snapshot{SoCTemp: m.socTemp, CoreRise: make([]float64, len(m.coreRise)), AmbientC: m.cfg.AmbientC}
+	copy(s.CoreRise, m.coreRise)
+	return s
+}
+
+// Restore overwrites the thermal state with a snapshot from a model of
+// the same core count.
+func (m *Model) Restore(s Snapshot) {
+	if len(s.CoreRise) != len(m.coreRise) {
+		panic("thermal: snapshot core-count mismatch")
+	}
+	m.socTemp = s.SoCTemp
+	copy(m.coreRise, s.CoreRise)
+	m.cfg.AmbientC = s.AmbientC
+}

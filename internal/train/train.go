@@ -17,6 +17,7 @@ import (
 	"dora/internal/core"
 	"dora/internal/corun"
 	"dora/internal/dvfs"
+	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/nlfit"
 	"dora/internal/pool"
@@ -66,6 +67,13 @@ type Config struct {
 	// Cache, when set, serves previously measured cells from the
 	// persistent run cache and records fresh measurements into it.
 	Cache *runcache.Cache
+	// Fidelity selects the simulation mode for campaign cells (default
+	// exact; the golden campaign fingerprint is pinned to exact).
+	// Sampled campaigns share one warm-checkpoint store across all
+	// cells and workers.
+	Fidelity fidelity.Mode
+	// FidelityParams tunes the sampled-mode detector (zero = defaults).
+	FidelityParams fidelity.Params
 }
 
 func (c *Config) fillDefaults() {
@@ -143,12 +151,15 @@ func (c Config) grid() ([]gridCell, error) {
 }
 
 // measureCell simulates one grid cell and labels the result.
-func measureCell(cfg Config, c gridCell) (Observation, error) {
+func measureCell(cfg Config, c gridCell, ckpts *sim.CheckpointStore) (Observation, error) {
 	r, err := sim.LoadPage(sim.Options{
-		SoC:      cfg.SoC,
-		Governor: governor.NewFixed(c.opp),
-		Seed:     c.seed,
-		Warmup:   cfg.Warmup,
+		SoC:            cfg.SoC,
+		Governor:       governor.NewFixed(c.opp),
+		Seed:           c.seed,
+		Warmup:         cfg.Warmup,
+		Fidelity:       cfg.Fidelity,
+		FidelityParams: cfg.FidelityParams,
+		Checkpoints:    ckpts,
 	}, sim.Workload{Page: c.spec, CoRun: c.kernel})
 	if err != nil {
 		return Observation{}, fmt.Errorf("train: %s+%s@%d: %w", c.page, c.kname, c.opp.FreqMHz, err)
@@ -192,18 +203,27 @@ func Campaign(cfg Config) ([]Observation, error) {
 	if cfg.Cache != nil {
 		fp = sim.ConfigFingerprint(cfg.SoC)
 	}
+	// Sampled campaigns share one warm-checkpoint store: any cells that
+	// agree on everything the warmup depends on resume from whichever
+	// worker warmed the state first (the content is a pure function of
+	// the key, so results stay identical at any pool width).
+	var ckpts *sim.CheckpointStore
+	if cfg.Fidelity == fidelity.Sampled {
+		ckpts = sim.NewCheckpointStore()
+	}
 	out := make([]Observation, len(cells))
 	err = pool.Run(len(cells), cfg.Workers, func(i int) error {
 		c := cells[i]
 		var key string
 		if cfg.Cache != nil {
 			key = runcache.Key("train-observation", ObservationFileVersion, fp,
-				c.page, c.kname, c.opp.FreqMHz, c.seed, cfg.Warmup)
+				c.page, c.kname, c.opp.FreqMHz, c.seed, cfg.Warmup,
+				cfg.Fidelity.String(), cfg.FidelityParams)
 			if cfg.Cache.Get(key, &out[i]) {
 				return nil
 			}
 		}
-		obs, err := measureCell(cfg, c)
+		obs, err := measureCell(cfg, c, ckpts)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"dora/internal/core"
 	"dora/internal/corun"
+	"dora/internal/fidelity"
 	"dora/internal/power"
 	"dora/internal/runcache"
 	"dora/internal/soc"
@@ -362,4 +363,83 @@ func TestFullTrainingAccuracy(t *testing.T) {
 	}
 	_ = models
 	_ = core.FeatureNames()
+}
+
+// The sampled-fidelity twin of TestCampaignParallelMatchesSerial: the
+// warm-checkpoint store is shared across workers, so the guarantee is
+// stronger — whichever worker warms a checkpoint first, every cell
+// must measure bit-identically at any pool width.
+func TestSampledCampaignParallelMatchesSerial(t *testing.T) {
+	serialCfg := tinyCfg()
+	serialCfg.Fidelity = fidelity.Sampled
+	serialCfg.Workers = 1
+	serial, err := Campaign(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := tinyCfg()
+	parCfg.Fidelity = fidelity.Sampled
+	parCfg.Workers = 8
+	par, err := Campaign(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel sampled campaign differs from serial sampled campaign")
+	}
+}
+
+// Exact and sampled measurements of the same cell must never alias in
+// the run cache: a warm cache written by an exact campaign must not
+// serve a sampled campaign, and vice versa.
+func TestCampaignCacheNeverAliasesFidelity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.json")
+	cache, err := runcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCfg()
+	cfg.Cache = cache
+	exact, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesAfterExact := cache.Len()
+
+	scfg := tinyCfg()
+	scfg.Cache = cache
+	scfg.Fidelity = fidelity.Sampled
+	sampled, err := Campaign(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() <= entriesAfterExact {
+		t.Fatalf("sampled campaign reused exact cache entries (len stayed %d)", cache.Len())
+	}
+	// The two campaigns measure the same grid: near-equal observables,
+	// but genuinely distinct measurements.
+	if reflect.DeepEqual(exact, sampled) {
+		t.Fatal("sampled observations identical to exact: cache aliased the fidelity modes")
+	}
+	for i := range exact {
+		rel := (sampled[i].LoadTimeS - exact[i].LoadTimeS) / exact[i].LoadTimeS
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("cell %d (%s+%s@%d): sampled load time off by %.1f%%",
+				i, exact[i].Page, exact[i].Kernel, exact[i].FreqMHz, 100*rel)
+		}
+	}
+
+	// A re-run of each mode must now be served entirely from cache,
+	// reproducing its own mode's observations exactly.
+	exact2, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled2, err := Campaign(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exact, exact2) || !reflect.DeepEqual(sampled, sampled2) {
+		t.Fatal("cache-served re-run diverged from its own fidelity mode")
+	}
 }

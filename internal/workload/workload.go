@@ -229,6 +229,39 @@ func (g *RefGen) FillBlock(dst []uint64) {
 	}
 }
 
+// Skip advances the generator by n touches without producing their
+// addresses, exactly as n discarded Next calls would. Sequential and
+// strided walks advance their position directly; the LCG-backed
+// patterns jump the generator state in O(log n) by composing the
+// affine update map with itself (x -> a*x + c applied n times is
+// x -> a^n*x + c*(a^(n-1) + ... + 1), both computable by repeated
+// squaring in the same mod-2^64 arithmetic the per-touch path uses).
+// The sampled-fidelity fast-forward path uses Skip to keep reference
+// streams bit-aligned with exact mode across extrapolated slices.
+func (g *RefGen) Skip(n uint64) {
+	switch g.seg.Pattern {
+	case Sequential, Strided:
+		g.pos += n
+	case Random, PointerChase:
+		const (
+			mulA = 6364136223846793005
+			addC = 1442695040888963407
+		)
+		// Compose (a, c) where step(x) = a*x + c, n times.
+		var accA, accC uint64 = 1, 0
+		stepA, stepC := uint64(mulA), uint64(addC)
+		for n > 0 {
+			if n&1 == 1 {
+				// acc = step ∘ acc : x -> stepA*(accA*x + accC) + stepC
+				accA, accC = stepA*accA, stepA*accC+stepC
+			}
+			stepA, stepC = stepA*stepA, stepA*stepC+stepC
+			n >>= 1
+		}
+		g.lcg = accA*g.lcg + accC
+	}
+}
+
 // sliceSource replays a fixed segment list once.
 type sliceSource struct {
 	name string

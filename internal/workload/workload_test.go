@@ -281,3 +281,31 @@ func TestReinitMatchesNew(t *testing.T) {
 		}
 	}
 }
+
+func TestRefGenSkipMatchesNext(t *testing.T) {
+	segs := []Segment{
+		{FootprintBytes: 37 * LineBytes, Pattern: Sequential, Base: 0x1000},
+		{FootprintBytes: 64 * LineBytes, Pattern: Strided, StrideLines: 5, Base: 0x2000},
+		{FootprintBytes: 128 * LineBytes, Pattern: Random, Base: 0x3000},
+		{FootprintBytes: 256 * LineBytes, Pattern: PointerChase, Base: 0x4000},
+	}
+	for _, seg := range segs {
+		for _, n := range []uint64{0, 1, 2, 7, 63, 1000, 123457} {
+			a := NewRefGen(seg, 42)
+			b := NewRefGen(seg, 42)
+			for i := uint64(0); i < n; i++ {
+				a.Next()
+			}
+			b.Skip(n)
+			for i := 0; i < 16; i++ {
+				if ga, gb := a.Next(), b.Next(); ga != gb {
+					t.Fatalf("%s: after skip %d, touch %d = %#x, want %#x",
+						seg.Pattern, n, i, gb, ga)
+				}
+			}
+			if a.Pos() != b.Pos() {
+				t.Fatalf("%s: skip %d pos = %d, want %d", seg.Pattern, n, b.Pos(), a.Pos())
+			}
+		}
+	}
+}
