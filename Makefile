@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve bench-sampled serve-test fuzz-smoke load
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve bench-sampled serve-test stream-test fuzz-smoke load
 
 build:
 	$(GO) build ./...
@@ -36,11 +36,20 @@ serve-test:
 	$(GO) test -race -v ./internal/serve/
 
 # 30 s of coverage-guided fuzzing per committed target: the request
-# decoder and the run-cache loader. Seed corpora live under each
-# package's testdata/fuzz/ and replay in plain `go test` runs.
+# decoder, the run-cache loader, the wire payload codecs, and the wire
+# frame layer. Seed corpora live under each package's testdata/fuzz/
+# and replay in plain `go test` runs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadRequestDecode$$' -fuzztime 30s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzRunCacheEntry$$' -fuzztime 30s ./internal/runcache/
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameRead$$' -fuzztime 30s ./internal/wire/
+
+# Wire codec + stream e2e suites under the race detector, the same
+# slice the CI `stream` job runs.
+stream-test:
+	$(GO) test -race -v ./internal/wire/
+	$(GO) test -race -run '^TestStream|^TestServeCampaignFingerprintGoldenStream$$' -v ./internal/serve/
 
 # Record the PR 2 performance trajectory (suite-build speedup and
 # telemetry overhead) into BENCH_PR2.json.
@@ -53,8 +62,10 @@ bench-pr3:
 	scripts/bench_pr3.sh
 
 # Record the serving-path trajectory: doraload drives an in-process
-# dorad and writes schema-checked latency/throughput/provenance
-# numbers to BENCH_SERVE.json. Knobs: DURATION, CONCURRENCY, QPS.
+# dorad with the same deterministic mix over the JSON endpoints and
+# the binary stream, and writes one schema-checked side-by-side report
+# (latency/throughput/provenance per transport + comparison block) to
+# BENCH_SERVE.json. Knobs: DURATION, CONCURRENCY, QPS, TRANSPORT.
 bench-serve:
 	scripts/bench_serve.sh
 

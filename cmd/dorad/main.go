@@ -1,8 +1,10 @@
 // Command dorad serves the DORA simulator over HTTP: page-load
 // simulations (POST /v1/load), measurement-campaign grids
-// (POST /v1/campaign), corpus discovery (GET /v1/pages), Prometheus
-// metrics (GET /metrics), a JSON process snapshot (GET /debug/vars),
-// and a drain-aware health check (GET /healthz).
+// (POST /v1/campaign), the binary stream transport (GET /v1/stream,
+// connection upgrade; see internal/wire), corpus discovery
+// (GET /v1/pages), Prometheus metrics (GET /metrics), a JSON process
+// snapshot (GET /debug/vars), and a drain-aware health check
+// (GET /healthz).
 //
 // The daemon applies backpressure (429 + jittered Retry-After when the
 // bounded admission queue fills), deduplicates identical in-flight
@@ -114,11 +116,11 @@ func main() {
 		EnablePprof:     *pprof,
 	})
 
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	// Hardened listener: header/read/write/idle deadlines plus a header
+	// budget, so slow or hostile clients cannot pin connections (or a
+	// later drain) open indefinitely. The stream transport applies its
+	// own frame-level deadlines after the upgrade.
+	hs := serve.NewHTTPServer(*addr, srv.Handler())
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	log.Printf("listening on %s (workers=%d, models=%v, cache=%v, pprof=%v)",

@@ -48,6 +48,8 @@ func main() {
 
 	target := flag.String("target", "", "base URL of a running dorad (e.g. http://127.0.0.1:8077)")
 	self := flag.Bool("self", false, "start an in-process dorad on a loopback port and drive it")
+	transport := flag.String("transport", "json", "serving transport: json | stream | both (both = same mix on each, side-by-side report)")
+	compress := flag.Bool("compress", false, "negotiate per-frame compression on the stream transport")
 	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
 	concurrency := flag.Int("c", 4, "workers (closed loop) / max in-flight requests (open loop)")
 	qps := flag.Float64("qps", 0, "open-loop arrival rate; 0 = closed loop")
@@ -61,7 +63,7 @@ func main() {
 	maxLoadMs := flag.Int64("max-load-ms", 0, "max_load_ms on every load request (0 = daemon default)")
 	timeoutMs := flag.Int64("timeout-ms", 0, "timeout_ms on every request (0 = none)")
 	jsonOut := flag.String("json", "", "write the BENCH_SERVE report to this file ('-' = stdout)")
-	pr := flag.Int("pr", 6, "PR number stamped into the report")
+	pr := flag.Int("pr", 8, "PR number stamped into the report")
 	validate := flag.String("validate", "", "schema-check this BENCH_SERVE.json and exit")
 	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -105,6 +107,8 @@ func main() {
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:      baseURL,
+		Transport:    *transport,
+		Compress:     *compress,
 		Duration:     *duration,
 		Concurrency:  *concurrency,
 		QPS:          *qps,
@@ -166,7 +170,7 @@ func startSelf(logger *obslog.Logger) (string, func(), error) {
 		os.RemoveAll(dir)
 		return "", nil, err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := serve.NewHTTPServer("", srv.Handler())
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("self daemon: %v", err)
@@ -204,13 +208,33 @@ func printSummary(r *loadgen.Report) {
 	if r.QPS > 0 {
 		fmt.Printf(", %.0f qps offered", r.QPS)
 	}
-	fmt.Printf(", c=%d, %.1fs)\n", r.Concurrency, r.DurationS)
-	fmt.Printf("requests    %d (%.1f req/s, %d errors, %d missed ticks)\n",
-		r.Requests, r.ThroughputRPS, r.Errors, r.MissedTicks)
-	fmt.Printf("latency ms  p50=%.2f p90=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
-		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P95Ms, r.Latency.P99Ms,
-		r.Latency.MeanMs, r.Latency.MaxMs)
-	fmt.Printf("status      %v\n", r.Status)
-	fmt.Printf("sources     %v (dedup %.1f%%, cache %.1f%%)\n",
-		r.Sources, 100*r.DedupRate, 100*r.CacheHitRate)
+	fmt.Printf(", c=%d)\n", r.Concurrency)
+	for _, key := range []string{loadgen.TransportJSON, loadgen.TransportStream} {
+		t := r.Transports[key]
+		if t == nil {
+			continue
+		}
+		fmt.Printf("[%s] %.1fs\n", t.Transport, t.DurationS)
+		fmt.Printf("  requests    %d (%.1f req/s, %d errors, %d missed ticks)\n",
+			t.Requests, t.ThroughputRPS, t.Errors, t.MissedTicks)
+		fmt.Printf("  latency ms  p50=%.2f p90=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
+			t.Latency.P50Ms, t.Latency.P90Ms, t.Latency.P95Ms, t.Latency.P99Ms,
+			t.Latency.MeanMs, t.Latency.MaxMs)
+		if t.CampaignFirstResult != nil {
+			fmt.Printf("  campaign ms first-result p50=%.2f p99=%.2f | full p50=%.2f p99=%.2f\n",
+				t.CampaignFirstResult.P50Ms, t.CampaignFirstResult.P99Ms,
+				t.CampaignFull.P50Ms, t.CampaignFull.P99Ms)
+		}
+		fmt.Printf("  status      %v\n", t.Status)
+		fmt.Printf("  sources     %v (dedup %.1f%%, cache %.1f%%)\n",
+			t.Sources, 100*t.DedupRate, 100*t.CacheHitRate)
+	}
+	if c := r.Comparison; c != nil {
+		fmt.Printf("stream vs json: throughput x%.2f, p50 x%.2f, p99 x%.2f",
+			c.ThroughputGain, c.P50Speedup, c.P99Speedup)
+		if c.FirstResultSpeedup > 0 {
+			fmt.Printf(", campaign first-result x%.2f", c.FirstResultSpeedup)
+		}
+		fmt.Println()
+	}
 }

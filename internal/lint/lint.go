@@ -14,11 +14,13 @@
 //     inside the simulation and observable packages. Seeded
 //     rand.New(rand.NewSource(seed)) and methods on a *rand.Rand stay
 //     legal.
-//   - maporder: flags `range` over a map in the same packages when the
-//     loop body has order-sensitive effects (writes to anything other
-//     than a map or an iteration-local variable, or an early exit)
-//     and is not followed by an explicit sort — map iteration order is
-//     the classic silent fingerprint-breaker.
+//   - maporder: flags `range` over a map in the same packages (plus
+//     the wire codec, whose frame order must be deterministic for the
+//     transport byte-equivalence contract) when the loop body has
+//     order-sensitive effects (writes to anything other than a map or
+//     an iteration-local variable, or an early exit) and is not
+//     followed by an explicit sort — map iteration order is the
+//     classic silent fingerprint-breaker.
 //   - hotpath: functions marked //dora:hotpath must contain no
 //     make/new/append, composite literals, closures, defer/go,
 //     fmt calls, or string concatenation — the compile-time companion
@@ -72,6 +74,16 @@ var simPackages = map[string]bool{
 	"fidelity": true,
 }
 
+// mapOrderExtra widens the maporder rule beyond the simulation
+// packages. The wire codec is not fingerprint-observable, but a
+// map-ordered loop there would emit frames in a per-run order and
+// break the byte-equivalence contract with the JSON endpoints; wire
+// deliberately stays out of simPackages because the client side keeps
+// wall-clock deadlines the determinism rule bans.
+var mapOrderExtra = map[string]bool{
+	"wire": true,
+}
+
 // Diagnostic is one finding, positioned in module-relative file
 // coordinates.
 type Diagnostic struct {
@@ -116,6 +128,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // SimPackage reports whether the pass's package is one of the
 // simulation/observable packages the determinism rules cover.
 func (p *Pass) SimPackage() bool { return simPackages[p.Pkg.Base()] }
+
+// MapOrderPackage reports whether the maporder rule covers the pass's
+// package: every simulation package plus the wire codec.
+func (p *Pass) MapOrderPackage() bool {
+	return simPackages[p.Pkg.Base()] || mapOrderExtra[p.Pkg.Base()]
+}
 
 // Callee resolves a call expression to the called *types.Func (package
 // function or method). It returns nil for builtins, conversions, and

@@ -17,13 +17,13 @@ import (
 // loops followed by an explicit sort of what they accumulated.
 var MapOrder = &Analyzer{
 	Name: RuleMapOrder,
-	Doc: "flags range-over-map in simulation packages when the body writes to " +
-		"anything other than a map or exits early, unless followed by an explicit sort",
+	Doc: "flags range-over-map in simulation packages and the wire codec when the body " +
+		"writes to anything other than a map or exits early, unless followed by an explicit sort",
 	Run: runMapOrder,
 }
 
 func runMapOrder(pass *Pass) {
-	if !pass.SimPackage() {
+	if !pass.MapOrderPackage() {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

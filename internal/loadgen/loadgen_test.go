@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -19,7 +18,8 @@ import (
 
 // startDaemon runs an in-process dorad behind httptest, with a real
 // (temp-file) run cache so RepeatFrac can actually produce "cache"
-// sources across connections.
+// sources across connections. httptest's server supports hijacking,
+// so the stream transport works against it too.
 func startDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
 	cache, err := runcache.Open(filepath.Join(t.TempDir(), "cache.json"))
@@ -29,6 +29,7 @@ func startDaemon(t *testing.T) *httptest.Server {
 	s := serve.NewServer(serve.Config{Cache: cache})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
+		s.BeginDrain()
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -39,14 +40,15 @@ func startDaemon(t *testing.T) *httptest.Server {
 	return ts
 }
 
-func TestClosedLoopAgainstDaemon(t *testing.T) {
+func TestClosedLoopAgainstDaemonBothTransports(t *testing.T) {
 	if testing.Short() {
 		t.Skip("drives real simulations")
 	}
 	ts := startDaemon(t)
 	cfg := Config{
 		BaseURL:      ts.URL,
-		Duration:     1500 * time.Millisecond,
+		Transport:    TransportBoth,
+		Duration:     1200 * time.Millisecond,
 		Concurrency:  3,
 		CampaignFrac: 0.25,
 		RepeatFrac:   0.5,
@@ -56,22 +58,25 @@ func TestClosedLoopAgainstDaemon(t *testing.T) {
 	}
 
 	// The mixer sequence is deterministic for a given seed (Run and a
-	// probe instance generate identical bodies), so pre-simulate the
+	// probe instance generate identical specs), so pre-simulate the
 	// run's first /v1/load body: repeats of it then hit the warm cache
 	// even when the race detector makes fresh simulations slow.
 	probeCfg := cfg
-	probe := &mixer{rng: rand.New(rand.NewSource(probeCfg.Seed)), cfg: &probeCfg}
-	var firstLoad body
+	probe := newMixer(&probeCfg)
+	var firstLoad spec
+	found := false
 	for i := 0; i < 16; i++ {
-		if b := probe.next(); b.path == "/v1/load" {
-			firstLoad = b
+		if sp := probe.next(); !sp.campaign {
+			firstLoad = sp
+			found = true
 			break
 		}
 	}
-	if firstLoad.path == "" {
+	if !found {
 		t.Fatal("mixer produced no load request in 16 draws at CampaignFrac=0.25")
 	}
-	warm, err := http.Post(ts.URL+firstLoad.path, "application/json", bytes.NewReader(firstLoad.payload))
+	path, payload := firstLoad.jsonBody(&probeCfg)
+	warm, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
 	if err != nil {
 		t.Fatalf("warm-up POST: %v", err)
 	}
@@ -85,33 +90,48 @@ func TestClosedLoopAgainstDaemon(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	rep.PR = 6 // Run leaves identity to the caller
+	rep.PR = 8 // Run leaves identity to the caller
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("report does not validate: %v", err)
 	}
 	if rep.Mode != "closed" {
 		t.Fatalf("mode = %q, want closed", rep.Mode)
 	}
-	if rep.Requests < 3 {
-		t.Fatalf("requests = %d, want at least one per worker", rep.Requests)
+	if rep.Comparison == nil {
+		t.Fatal("both-transport run produced no comparison section")
 	}
-	if rep.Errors != 0 {
-		t.Fatalf("errors = %d, want 0 (status %v)", rep.Errors, rep.Status)
-	}
-	if rep.Status["2xx"] != rep.Requests {
-		t.Fatalf("status = %v, want all %d requests 2xx", rep.Status, rep.Requests)
-	}
-	// With a warm cache and 50% repeats of a single page/governor mix,
-	// at least one request must have been answered without a fresh
-	// simulation.
-	if rep.Sources["dedup"]+rep.Sources["cache"] == 0 {
-		t.Fatalf("sources = %v, want some dedup/cache traffic at RepeatFrac=0.5", rep.Sources)
-	}
-	if rep.DedupRate+rep.CacheHitRate <= 0 {
-		t.Fatalf("dedup_rate=%g cache_hit_rate=%g, want > 0 combined", rep.DedupRate, rep.CacheHitRate)
-	}
-	if rep.Latency.P50Ms <= 0 || rep.Latency.MaxMs < rep.Latency.P50Ms {
-		t.Fatalf("latency summary implausible: %+v", rep.Latency)
+	for _, key := range []string{TransportJSON, TransportStream} {
+		tr := rep.Transports[key]
+		if tr == nil {
+			t.Fatalf("transports[%q] missing", key)
+		}
+		if tr.Requests < 3 {
+			t.Fatalf("[%s] requests = %d, want at least one per worker", key, tr.Requests)
+		}
+		if tr.Errors != 0 {
+			t.Fatalf("[%s] errors = %d, want 0 (status %v)", key, tr.Errors, tr.Status)
+		}
+		if tr.Status["2xx"] != tr.Requests {
+			t.Fatalf("[%s] status = %v, want all %d requests 2xx", key, tr.Status, tr.Requests)
+		}
+		// Satellite-1 invariant: every 2xx response is classified, so
+		// sources sum to the 2xx count (campaigns included).
+		var total uint64
+		for _, n := range tr.Sources {
+			total += n
+		}
+		if total != tr.Status["2xx"] {
+			t.Fatalf("[%s] sources %v sum to %d, want %d (every 2xx classified)", key, tr.Sources, total, tr.Status["2xx"])
+		}
+		// With a warm cache and 50% repeats of a single page/governor
+		// mix, at least one request must have been answered without a
+		// fresh simulation.
+		if tr.Sources["dedup"]+tr.Sources["cache"] == 0 {
+			t.Fatalf("[%s] sources = %v, want some dedup/cache traffic at RepeatFrac=0.5", key, tr.Sources)
+		}
+		if tr.Latency.P50Ms <= 0 || tr.Latency.MaxMs < tr.Latency.P50Ms {
+			t.Fatalf("[%s] latency summary implausible: %+v", key, tr.Latency)
+		}
 	}
 }
 
@@ -134,36 +154,51 @@ func TestOpenLoopPacesArrivals(t *testing.T) {
 	if rep.Mode != "open" {
 		t.Fatalf("mode = %q, want open", rep.Mode)
 	}
+	tr := rep.Transports[TransportJSON]
+	if tr == nil {
+		t.Fatal("default transport should be json")
+	}
 	// At 20 QPS for ~1.2 s the generator schedules ~24 arrivals; a
 	// run that completed more than that is not paced at all. Missed
 	// ticks account for arrivals the target could not absorb.
-	if limit := uint64(30); rep.Requests > limit {
-		t.Fatalf("requests = %d, want <= %d in a paced run", rep.Requests, limit)
+	if limit := uint64(30); tr.Requests > limit {
+		t.Fatalf("requests = %d, want <= %d in a paced run", tr.Requests, limit)
 	}
-	if rep.Requests == 0 {
+	if tr.Requests == 0 {
 		t.Fatal("no requests completed")
 	}
 }
 
-func TestMixerDeterministicSequence(t *testing.T) {
-	gen := func() []body {
-		cfg := Config{
-			Pages:        []string{"Alipay", "Amazon"},
-			Governors:    []string{"interactive", "ondemand"},
-			CampaignFrac: 0.3,
-			RepeatFrac:   0.4,
-			Seed:         42,
-		}
-		m := &mixer{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: &cfg}
-		out := make([]body, 50)
-		for i := range out {
-			out[i] = m.next()
-		}
-		return out
+// renderAll draws n specs and renders each as its JSON body, the
+// transport-neutral sequence both transports replay.
+func renderAll(cfg Config, n int) []struct {
+	path    string
+	payload string
+} {
+	m := newMixer(&cfg)
+	out := make([]struct {
+		path    string
+		payload string
+	}, n)
+	for i := range out {
+		sp := m.next()
+		p, b := sp.jsonBody(&cfg)
+		out[i].path, out[i].payload = p, string(b)
 	}
-	a, b := gen(), gen()
+	return out
+}
+
+func TestMixerDeterministicSequence(t *testing.T) {
+	cfg := Config{
+		Pages:        []string{"Alipay", "Amazon"},
+		Governors:    []string{"interactive", "ondemand"},
+		CampaignFrac: 0.3,
+		RepeatFrac:   0.4,
+		Seed:         42,
+	}
+	a, b := renderAll(cfg, 50), renderAll(cfg, 50)
 	for i := range a {
-		if a[i].path != b[i].path || string(a[i].payload) != string(b[i].payload) {
+		if a[i] != b[i] {
 			t.Fatalf("request %d diverged between identically-seeded runs:\n%s %s\n%s %s",
 				i, a[i].path, a[i].payload, b[i].path, b[i].payload)
 		}
@@ -174,10 +209,10 @@ func TestMixerDeterministicSequence(t *testing.T) {
 		if r.path == "/v1/campaign" {
 			campaigns++
 		}
-		if seen[string(r.payload)] {
+		if seen[r.payload] {
 			repeats++
 		}
-		seen[string(r.payload)] = true
+		seen[r.payload] = true
 	}
 	if campaigns == 0 {
 		t.Fatal("mix produced no campaigns at CampaignFrac=0.3")
@@ -190,28 +225,25 @@ func TestMixerDeterministicSequence(t *testing.T) {
 // TestMixerFidelityFrac: at FidelityFrac=1 every fresh body carries
 // fidelity "sampled"; at the 0 default none do.
 func TestMixerFidelityFrac(t *testing.T) {
-	gen := func(frac float64) []body {
-		cfg := Config{
+	gen := func(frac float64) []struct {
+		path    string
+		payload string
+	} {
+		return renderAll(Config{
 			Pages:        []string{"Alipay"},
 			Governors:    []string{"interactive"},
 			CampaignFrac: 0.3,
 			FidelityFrac: frac,
 			Seed:         7,
-		}
-		m := &mixer{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: &cfg}
-		out := make([]body, 20)
-		for i := range out {
-			out[i] = m.next()
-		}
-		return out
+		}, 20)
 	}
 	for _, r := range gen(1) {
-		if !strings.Contains(string(r.payload), `"fidelity":"sampled"`) {
+		if !strings.Contains(r.payload, `"fidelity":"sampled"`) {
 			t.Fatalf("FidelityFrac=1 body lacks sampled fidelity: %s %s", r.path, r.payload)
 		}
 	}
 	for _, r := range gen(0) {
-		if strings.Contains(string(r.payload), "fidelity") {
+		if strings.Contains(r.payload, "fidelity") {
 			t.Fatalf("FidelityFrac=0 body carries fidelity: %s %s", r.path, r.payload)
 		}
 	}
@@ -220,6 +252,13 @@ func TestMixerFidelityFrac(t *testing.T) {
 func TestRunRequiresBaseURL(t *testing.T) {
 	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Fatal("Run with empty BaseURL succeeded, want error")
+	}
+}
+
+func TestRunRejectsUnknownTransport(t *testing.T) {
+	_, err := Run(context.Background(), Config{BaseURL: "http://x", Transport: "carrier-pigeon"})
+	if err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("unknown transport not rejected: %v", err)
 	}
 }
 
@@ -234,24 +273,53 @@ func TestRunAgainstDeadTarget(t *testing.T) {
 		// network_error) — but if the platform surfaces them slowly
 		// enough that none land in the window, the empty-run error is
 		// also acceptable.
-		if !strings.Contains(err.Error(), "no requests completed") {
+		if !strings.Contains(err.Error(), "no json requests completed") {
 			t.Fatalf("unexpected error: %v", err)
 		}
 		return
 	}
 }
 
-func TestValidateCatchesDrift(t *testing.T) {
-	good := Report{
-		Schema: Schema, PR: 6, Date: "2026-08-08T00:00:00Z",
-		Go: "go1.24", Target: "http://x", Mode: "closed",
-		DurationS: 5, Concurrency: 4, Requests: 100,
-		ThroughputRPS: 20,
-		Latency:       LatencySummary{P50Ms: 1, P90Ms: 2, P95Ms: 3, P99Ms: 4, MeanMs: 1.5, MaxMs: 9},
-		Status:        map[string]uint64{"2xx": 100},
-		Sources:       map[string]uint64{"sim": 60, "dedup": 25, "cache": 15},
-		DedupRate:     0.25, CacheHitRate: 0.15,
+// TestStreamDeadTargetFailsFast: the stream transport dials at run
+// start, so a dead target is an immediate dial error instead of a
+// window of network_errors.
+func TestStreamDeadTargetFailsFast(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		BaseURL:     "http://127.0.0.1:1",
+		Transport:   TransportStream,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "dial stream transport") {
+		t.Fatalf("dead stream target error = %v, want dial failure", err)
 	}
+}
+
+func goodReport() Report {
+	lat := LatencySummary{P50Ms: 1, P90Ms: 2, P95Ms: 3, P99Ms: 4, MeanMs: 1.5, MaxMs: 9}
+	mk := func(name string) *TransportReport {
+		return &TransportReport{
+			Transport: name, DurationS: 5, Requests: 100,
+			ThroughputRPS: 20, Latency: lat,
+			Status:    map[string]uint64{"2xx": 100},
+			Sources:   map[string]uint64{"sim": 55, "dedup": 25, "cache": 15, "none": 5},
+			DedupRate: 0.25, CacheHitRate: 0.15,
+		}
+	}
+	return Report{
+		Schema: Schema, PR: 8, Date: "2026-08-09T00:00:00Z",
+		Go: "go1.24", Target: "http://x", Mode: "closed",
+		Concurrency: 4, SourcesNote: SourcesNote,
+		Transports: map[string]*TransportReport{
+			TransportJSON:   mk(TransportJSON),
+			TransportStream: mk(TransportStream),
+		},
+		Comparison: &Comparison{ThroughputGain: 2.5, P50Speedup: 3, P99Speedup: 1.2},
+	}
+}
+
+func TestValidateCatchesDrift(t *testing.T) {
+	good := goodReport()
 	if err := good.Validate(); err != nil {
 		t.Fatalf("good report rejected: %v", err)
 	}
@@ -261,29 +329,37 @@ func TestValidateCatchesDrift(t *testing.T) {
 		mutate func(*Report)
 		want   string
 	}{
-		{"wrong schema", func(r *Report) { r.Schema = "dora-bench-serve/v0" }, "schema"},
+		{"wrong schema", func(r *Report) { r.Schema = "dora-bench-serve/v1" }, "schema"},
 		{"missing pr", func(r *Report) { r.PR = 0 }, "pr"},
 		{"bad date", func(r *Report) { r.Date = "yesterday" }, "RFC3339"},
 		{"bad mode", func(r *Report) { r.Mode = "sideways" }, "mode"},
-		{"zero requests", func(r *Report) { r.Requests = 0; r.Status = map[string]uint64{} }, "requests"},
-		{"inverted percentiles", func(r *Report) { r.Latency.P99Ms = 0.5 }, "monotone"},
-		{"status drift", func(r *Report) { r.Status["2xx"] = 99 }, "sum"},
-		{"unknown status class", func(r *Report) { r.Status["6xx"] = 0 }, "status class"},
-		{"unknown source", func(r *Report) { r.Sources["oracle"] = 1 }, "source"},
-		{"rate out of range", func(r *Report) { r.DedupRate = 1.5 }, "dedup_rate"},
+		{"drifted note", func(r *Report) { r.SourcesNote = "whatever" }, "sources_note"},
+		{"no transports", func(r *Report) { r.Transports = nil; r.Comparison = nil }, "transports"},
+		{"unknown transport", func(r *Report) { r.Transports["fax"] = r.Transports[TransportJSON] }, "transport"},
+		{"zero requests", func(r *Report) {
+			tr := r.Transports[TransportJSON]
+			tr.Requests = 0
+			tr.Status = map[string]uint64{}
+			tr.Sources = map[string]uint64{}
+		}, "requests"},
+		{"inverted percentiles", func(r *Report) { r.Transports[TransportStream].Latency.P99Ms = 0.5 }, "monotone"},
+		{"status drift", func(r *Report) { r.Transports[TransportJSON].Status["2xx"] = 99 }, "sum"},
+		{"unknown status class", func(r *Report) { r.Transports[TransportJSON].Status["6xx"] = 0 }, "status class"},
+		{"unknown source", func(r *Report) { r.Transports[TransportJSON].Sources["oracle"] = 1 }, "source"},
+		{"sources below 2xx", func(r *Report) { r.Transports[TransportJSON].Sources["sim"] = 1 }, "sources sum"},
+		{"rate out of range", func(r *Report) { r.Transports[TransportStream].DedupRate = 1.5 }, "dedup_rate"},
+		{"lone first-result", func(r *Report) {
+			l := r.Transports[TransportStream].Latency
+			r.Transports[TransportStream].CampaignFirstResult = &l
+		}, "together"},
+		{"missing comparison", func(r *Report) { r.Comparison = nil }, "comparison"},
+		{"stray comparison", func(r *Report) { delete(r.Transports, TransportStream) }, "comparison"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			r := good
-			r.Latency = good.Latency
-			r.Status = map[string]uint64{}
-			for k, v := range good.Status {
-				r.Status[k] = v
-			}
-			r.Sources = map[string]uint64{}
-			for k, v := range good.Sources {
-				r.Sources[k] = v
-			}
+			// goodReport() builds a fresh deep value per case, so
+			// mutations cannot leak between subtests.
+			r := goodReport()
 			tc.mutate(&r)
 			err := r.Validate()
 			if err == nil {
@@ -300,5 +376,19 @@ func TestValidateJSONRejectsUnknownFields(t *testing.T) {
 	data, _ := json.Marshal(map[string]any{"schema": Schema, "surprise": true})
 	if err := ValidateJSON(data); err == nil || !strings.Contains(err.Error(), "surprise") {
 		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+// TestReportRoundTrip: a generated-shape report survives
+// marshal → ValidateJSON, proving the committed BENCH_SERVE.json and
+// the validator agree on field names.
+func TestReportRoundTrip(t *testing.T) {
+	r := goodReport()
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := ValidateJSON(data); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
 	}
 }

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// JSON-listener hardening defaults. A public daemon must not let a
+// slow or hostile client hold a connection — or a graceful drain —
+// open indefinitely, so every phase of an HTTP exchange gets a budget.
+const (
+	// DefaultReadHeaderTimeout bounds the request-line + header read: a
+	// client trickling headers (slowloris) is cut off here.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultReadTimeout bounds reading one entire request including
+	// its body. Bodies are capped at MaxBodyBytes, so two minutes is
+	// generous even over a slow link.
+	DefaultReadTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds a response from end-of-request-read to
+	// last byte written, which in net/http includes handler time. It
+	// therefore sits above maxTimeoutMs (the largest legal per-request
+	// processing deadline) plus slack: legal long-running campaigns
+	// finish, while a stalled response write cannot pin a connection
+	// forever.
+	DefaultWriteTimeout = maxTimeoutMs*time.Millisecond + 5*time.Minute
+	// DefaultIdleTimeout reclaims idle keep-alive connections.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultMaxHeaderBytes bounds the header block (64 KiB: far above
+	// any legitimate client, far below http.DefaultMaxHeaderBytes' 1 MiB).
+	DefaultMaxHeaderBytes = 64 << 10
+)
+
+// NewHTTPServer wraps a handler in an http.Server hardened against
+// slow clients: read/header/write/idle deadlines and a header budget,
+// with the values above. The stream transport applies its own
+// equivalents (Config.StreamIdleTimeout, Config.StreamWriteTimeout,
+// Config.MaxFrameBytes) after the upgrade, so both listeners end up
+// deadline-bounded end to end — a stalled connection on either can
+// delay a drain by at most one timeout.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}

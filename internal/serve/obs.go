@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -129,8 +132,10 @@ type endpointMetrics struct {
 
 // endpointKeys are the route buckets the middleware distinguishes;
 // unknown paths collapse into "other" so cardinality stays bounded no
-// matter what clients probe.
-var endpointKeys = []string{"load", "campaign", "pages", "healthz", "metrics", "vars", "pprof", "other"}
+// matter what clients probe. "stream" is fed per logical request by
+// the stream transport itself, not by the middleware (hijacked
+// connections bypass it).
+var endpointKeys = []string{"load", "campaign", "stream", "pages", "healthz", "metrics", "vars", "pprof", "other"}
 
 func endpointOf(path string) string {
 	switch {
@@ -138,6 +143,8 @@ func endpointOf(path string) string {
 		return "load"
 	case path == "/v1/campaign":
 		return "campaign"
+	case path == "/v1/stream":
+		return "stream"
 	case path == "/v1/pages":
 		return "pages"
 	case path == "/healthz":
@@ -188,8 +195,9 @@ func newServeObs(reg *telemetry.Registry) *serveObs {
 // produced, for metrics and the access log.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status   int
+	bytes    int64
+	hijacked bool
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
@@ -201,6 +209,23 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	n, err := sr.ResponseWriter.Write(p)
 	sr.bytes += int64(n)
 	return n, err
+}
+
+// Hijack passes through to the underlying listener so the stream
+// upgrade works behind the middleware; a successful hijack hands the
+// connection's observability over to the stream layer (one access
+// line and one metrics record per logical request, not per conn).
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := sr.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("underlying ResponseWriter does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err == nil {
+		sr.hijacked = true
+		sr.status = http.StatusSwitchingProtocols
+	}
+	return conn, rw, err
 }
 
 // withObs wraps the route table with the observability middleware:
@@ -222,6 +247,14 @@ func (s *Server) withObs(h http.Handler) http.Handler {
 
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(sr, r)
+
+		if sr.hijacked {
+			// The connection was upgraded to the stream transport,
+			// which emits its own per-logical-request access lines and
+			// metrics; a per-connection latency sample here would just
+			// record connection lifetime.
+			return
+		}
 
 		elapsed := clock.MonoSince(s.mono, start)
 		if m := s.obs.endpoints[ep]; m != nil {

@@ -25,6 +25,7 @@ const (
 	CodeInternal      = "internal"        // 500: simulation failure
 	CodeModelRequired = "model_required"  // 400: model-based governor without trained models
 	CodePayloadLarge  = "payload_too_big" // 413: request body over the limit
+	CodeWireVersion   = "wire_version"    // 426: stream handshake version skew
 )
 
 // apiError is a structured, user-visible request failure.
@@ -290,6 +291,14 @@ func DecodeCampaignRequestDefault(data []byte, defaultFidelity string) (Campaign
 	if apiErr := decodeStrict(data, &req); apiErr != nil {
 		return CampaignRequest{}, nil, apiErr
 	}
+	return expandCampaign(req, defaultFidelity)
+}
+
+// expandCampaign validates a decoded campaign request and expands its
+// grid — the transport-independent half of campaign decoding, shared
+// by the JSON endpoint and the stream handler so both produce the same
+// cells, seeds, and errors for the same logical request.
+func expandCampaign(req CampaignRequest, defaultFidelity string) (CampaignRequest, []LoadRequest, *apiError) {
 	if req.Fidelity == "" {
 		req.Fidelity = defaultFidelity
 	}

@@ -43,12 +43,12 @@ import (
 	"dora/internal/fidelity"
 	"dora/internal/governor"
 	"dora/internal/obslog"
-	"dora/internal/pool"
 	"dora/internal/runcache"
 	"dora/internal/sim"
 	"dora/internal/soc"
 	"dora/internal/telemetry"
 	"dora/internal/webgen"
+	"dora/internal/wire"
 )
 
 // Config configures a Server. The zero value is usable: Nexus 5
@@ -101,6 +101,18 @@ type Config struct {
 	// (nil = the real clock.Mono). Tests substitute clock.ManualMono
 	// to observe exact histogram buckets.
 	Mono clock.MonoClock
+	// MaxFrameBytes bounds a single stream-transport frame payload in
+	// either direction (default MaxBodyBytes). Over-budget frames kill
+	// the connection: a corrupt length prefix cannot be resynchronized.
+	MaxFrameBytes int64
+	// StreamWriteTimeout bounds each batched flush to a stream client
+	// (default 10 s). A client that stops reading loses its connection
+	// instead of wedging the writer — and any drain waiting on it.
+	StreamWriteTimeout time.Duration
+	// StreamIdleTimeout closes a stream connection that has not
+	// delivered a complete frame in this long (default 5 min; <0
+	// disables). Refreshed on every frame.
+	StreamIdleTimeout time.Duration
 }
 
 // Server is the dorad daemon core: handlers plus the admission,
@@ -120,8 +132,16 @@ type Server struct {
 
 	drainMu  sync.RWMutex
 	draining bool
-	reqWG    sync.WaitGroup // admitted HTTP requests
+	reqWG    sync.WaitGroup // admitted logical requests (HTTP + stream frames)
 	simWG    sync.WaitGroup // detached flight leaders
+
+	// Hijacked stream connections are invisible to http.Server
+	// lifecycle management, so the server tracks them itself: the map
+	// lets BeginDrain say goodbye to every live conn, the WaitGroup
+	// lets Drain wait for them to finish closing.
+	streamMu sync.Mutex
+	streams  map[*streamConn]struct{}
+	streamWG sync.WaitGroup
 
 	flights flightGroup
 
@@ -146,6 +166,13 @@ type Server struct {
 	gQueue         *telemetry.Gauge
 	hLatency       *telemetry.Histogram
 
+	mStreamConns      *telemetry.Counter
+	gStreamConns      *telemetry.Gauge
+	mStreamFramesIn   *telemetry.Counter
+	mStreamFramesOut  *telemetry.Counter
+	mStreamCompressed *telemetry.Counter
+	hFramesPerFlush   *telemetry.Histogram
+
 	// testBeforeSim, when set, runs in the flight leader right before
 	// the simulation starts. Test instrumentation (queue-full and
 	// drain e2e tests park a request here deterministically).
@@ -169,6 +196,15 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = cfg.MaxBodyBytes
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = defaultStreamWriteTimeout
+	}
+	if cfg.StreamIdleTimeout == 0 {
+		cfg.StreamIdleTimeout = defaultStreamIdleTimeout
+	}
 	defFid, err := fidelity.ParseMode(cfg.DefaultFidelity)
 	if err != nil {
 		defFid = fidelity.Exact
@@ -185,6 +221,7 @@ func NewServer(cfg Config) *Server {
 		reg:        reg,
 		fp:         sim.ConfigFingerprint(cfg.Device),
 		sem:        make(chan struct{}, cfg.Concurrency),
+		streams:    make(map[*streamConn]struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 
@@ -204,6 +241,13 @@ func NewServer(cfg Config) *Server {
 		mCampaignCells: reg.Counter("dora_serve_campaign_cells_total", "campaign grid cells simulated"),
 		gQueue:         reg.Gauge("dora_serve_queue_depth", "requests currently admitted (simulating + waiting)"),
 		hLatency:       reg.Histogram("dora_serve_request_seconds", "request latency (seconds)", telemetry.ExponentialBuckets(0.001, 2, 14)),
+
+		mStreamConns:      reg.Counter("dora_stream_conns_total", "stream-transport connections accepted"),
+		gStreamConns:      reg.Gauge("dora_stream_conns_open", "stream-transport connections currently open"),
+		mStreamFramesIn:   reg.Counter("dora_stream_frames_in_total", "stream-transport frames received"),
+		mStreamFramesOut:  reg.Counter("dora_stream_frames_out_total", "stream-transport frames sent"),
+		mStreamCompressed: reg.Counter("dora_stream_compressed_frames_total", "stream-transport frames sent flate-compressed"),
+		hFramesPerFlush:   reg.Histogram("dora_stream_frames_per_flush", "result frames coalesced into one stream flush", telemetry.ExponentialBuckets(1, 2, 8)),
 	}
 	s.obs = newServeObs(reg)
 	s.startMono = s.mono.MonoNow()
@@ -220,6 +264,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/load", s.handleLoad)
 	mux.HandleFunc("/v1/campaign", s.handleCampaign)
+	mux.HandleFunc(wire.StreamPath, s.handleStream)
 	mux.HandleFunc("/v1/pages", s.handlePages)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/vars", s.handleVars)
@@ -249,12 +294,28 @@ func (s *Server) beginRequest() bool {
 }
 
 // BeginDrain flips the server into draining mode: every subsequent
-// simulation request is refused with 503 + Retry-After while already
-// admitted ones keep running. Idempotent.
+// simulation request — HTTP or stream frame — is refused (503 /
+// TypeError draining) while already admitted ones keep running, and
+// every open stream connection is told goodbye so pipelining clients
+// fail over instead of discovering the drain on a dead socket.
+// Idempotent.
 func (s *Server) BeginDrain() {
 	s.drainMu.Lock()
+	already := s.draining
 	s.draining = true
 	s.drainMu.Unlock()
+	if already {
+		return
+	}
+	s.streamMu.Lock()
+	conns := make([]*streamConn, 0, len(s.streams))
+	for sc := range s.streams {
+		conns = append(conns, sc)
+	}
+	s.streamMu.Unlock()
+	for _, sc := range conns {
+		sc.goodbye()
+	}
 }
 
 // Draining reports whether BeginDrain has been called.
@@ -274,6 +335,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.reqWG.Wait()
 		s.simWG.Wait()
+		s.streamWG.Wait()
 		close(done)
 	}()
 	select {
@@ -347,11 +409,47 @@ func (s *Server) loadKey(req LoadRequest) string {
 	return runcache.Key("serve-load", s.fp, req)
 }
 
+// cacheGet answers a normalized load request from the persistent run
+// cache. It is deliberately independent of admission: both transports
+// call it before taking a semaphore slot, so a warm hit is never
+// queued behind in-flight simulations — on repeat-heavy traffic the
+// cache path's latency is pure transport.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if s.cfg.Cache == nil {
+		return nil, false
+	}
+	var r sim.Result
+	if !s.cfg.Cache.Get(key, &r) {
+		return nil, false
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, false
+	}
+	s.mCacheHits.Inc()
+	return b, true
+}
+
 // simulate serves one normalized load request: persistent-cache warm
 // hit, else join (or lead) the singleflight for its key and wait under
 // the request context. The returned body is shared verbatim between
 // every deduplicated waiter.
 func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+	key := s.loadKey(req)
+	if b, ok := s.cacheGet(key); ok {
+		return b, "cache", nil
+	}
+	if s.cfg.Cache != nil {
+		s.mCacheMisses.Inc()
+	}
+	return s.simulateKey(ctx, key, req)
+}
+
+// simulateKey is simulate past the cache check: the singleflight
+// join/lead/retry machinery for an already-derived key. Callers that
+// ran the pre-admission cache fast path (executeLoad) enter here
+// directly so the cache is probed exactly once per request.
+func (s *Server) simulateKey(ctx context.Context, key string, req LoadRequest) (body []byte, source string, apiErr *apiError) {
 	simStart := s.mono.MonoNow()
 	if obs := obsFrom(ctx); obs != nil {
 		// Campaign cells run concurrently; accumulate wall time spent
@@ -359,17 +457,6 @@ func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, so
 		defer func() {
 			obs.simNanos.Add(clock.MonoSince(s.mono, simStart).Nanoseconds())
 		}()
-	}
-	key := s.loadKey(req)
-	if s.cfg.Cache != nil {
-		var r sim.Result
-		if s.cfg.Cache.Get(key, &r) {
-			if b, err := json.Marshal(r); err == nil {
-				s.mCacheHits.Inc()
-				return b, "cache", nil
-			}
-		}
-		s.mCacheMisses.Inc()
 	}
 	for attempt := 0; ; attempt++ {
 		fl, leader := s.flights.join(key)
@@ -574,27 +661,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr)
 		return
 	}
-	// Surface "model-based governor but no models" as a fast 400
-	// instead of a queued-then-failed simulation.
-	if _, _, apiErr := s.newGovernor(req.Governor, req.FreqMHz); apiErr != nil {
-		s.writeError(w, apiErr)
-		return
-	}
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
-	release, apiErr := s.admit(ctx)
+	body, source, apiErr := s.executeLoad(ctx, req)
 	if apiErr != nil {
-		s.writeError(w, apiErr)
-		return
-	}
-	defer release()
-
-	body, source, apiErr := s.simulate(ctx, req)
-	if apiErr != nil {
-		if apiErr.Code == CodeAborted { // e.g. server force-closed mid-run
-			apiErr = &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: apiErr.Message}
-		}
 		s.writeError(w, apiErr)
 		return
 	}
@@ -629,12 +700,6 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, apiErr)
 		return
 	}
-	for _, c := range cells {
-		if _, _, apiErr := s.newGovernor(c.Governor, c.FreqMHz); apiErr != nil {
-			s.writeError(w, apiErr)
-			return
-		}
-	}
 
 	var timeoutMs int64
 	if len(cells) > 0 {
@@ -644,38 +709,22 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, timeoutMs)
 	defer cancel()
-	release, apiErr := s.admit(ctx)
+
+	out := make([]CampaignCell, len(cells))
+	sources := make([]string, len(cells))
+	apiErr = s.executeCampaign(ctx, cells, func(i int, cell CampaignCell, source string) {
+		out[i] = cell
+		sources[i] = source
+	})
 	if apiErr != nil {
 		s.writeError(w, apiErr)
 		return
 	}
-	defer release()
-
-	// The campaign holds one admission slot; its internal fan-out is
-	// bounded by the worker pool, with output written to index-
-	// addressed cells so the response layout never depends on
-	// scheduling.
-	out := make([]CampaignCell, len(cells))
-	_ = pool.Run(len(cells), s.cfg.Workers, func(i int) error {
-		lr := cells[i]
-		out[i] = CampaignCell{Page: lr.Page, CoRunner: lr.CoRunner, Governor: lr.Governor, Seed: lr.Seed}
-		if ctx.Err() != nil {
-			out[i].Error = ctxErrToAPI(ctx)
-			return nil
-		}
-		body, _, apiErr := s.simulate(ctx, lr)
-		if apiErr != nil {
-			out[i].Error = apiErr
-			return nil
-		}
-		out[i].Result = body
-		return nil
-	})
-	if ctx.Err() != nil {
-		s.writeError(w, ctxErrToAPI(ctx))
-		return
+	// Aggregate provenance mirrors /v1/load's header so clients (and
+	// doraload's source accounting) see every 2xx response classified.
+	if agg := aggregateSource(sources); agg != "" {
+		w.Header().Set(SourceHeader, agg)
 	}
-	s.mCampaignCells.Add(uint64(len(cells)))
 	s.writeJSON(w, http.StatusOK, CampaignResponse{Cells: out})
 }
 

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CompressThreshold is the payload size below which compression is not
+// attempted: small result frames are dominated by the frame header and
+// syscall cost, and flate overhead would grow them.
+const CompressThreshold = 512
+
+var flateWriters = sync.Pool{
+	New: func() any {
+		// BestSpeed: the stream exists to cut latency; squeezing the
+		// last bytes out of a result frame is not worth the CPU.
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// Compress flate-compresses payload when negotiated compression makes
+// it worthwhile. It returns (compressed, true) only when the payload
+// clears CompressThreshold and actually shrank; otherwise the original
+// slice comes back with false and the frame is sent uncompressed.
+func Compress(payload []byte) ([]byte, bool) {
+	if len(payload) < CompressThreshold {
+		return payload, false
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) / 2)
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(&buf)
+	if _, err := fw.Write(payload); err != nil {
+		flateWriters.Put(fw)
+		return payload, false
+	}
+	if err := fw.Close(); err != nil {
+		flateWriters.Put(fw)
+		return payload, false
+	}
+	flateWriters.Put(fw)
+	if buf.Len() >= len(payload) {
+		return payload, false
+	}
+	return buf.Bytes(), true
+}
+
+// Decompress inflates a FlagCompressed payload, refusing to expand
+// past max bytes so a compression bomb cannot blow out the receiver.
+func Decompress(payload []byte, max int64) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(payload))
+	defer fr.Close()
+	out, err := io.ReadAll(io.LimitReader(fr, max+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrCodec, err)
+	}
+	if int64(len(out)) > max {
+		return nil, fmt.Errorf("%w: decompressed payload exceeds %d bytes", ErrCodec, max)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at every payload decoder. The
+// contract under fuzz: no panic, no unbounded allocation, and any
+// payload that decodes must round trip *as a value* — re-encoding the
+// decoded value and decoding again reproduces it exactly. (Byte-level
+// canonicality is deliberately not claimed: binary.Varint accepts
+// non-minimal encodings, which re-encode minimally.)
+func FuzzWireDecode(f *testing.F) {
+	f.Add(AppendLoadRequest(nil, &LoadRequest{
+		Page: "Alipay", CoRunner: "backprop", Governor: "dora",
+		FreqMHz: 1728, DeadlineMs: 16, WarmupMs: 300, Seed: -7,
+		AmbientC: 25.5, TimeoutMs: 30_000, Fidelity: "sampled",
+	}))
+	f.Add(AppendCampaignRequest(nil, &CampaignRequest{
+		Pages: []string{"Alipay", "Reddit"}, Governors: []string{"interactive"}, Seed: 3,
+	}))
+	f.Add(AppendError(nil, &Error{Status: 503, Code: "draining", Message: "go away"}))
+	f.Add(AppendCampaignSummary(nil, &CampaignSummary{Cells: 4, Errored: 1}))
+	f.Add([]byte{CodecVersion})
+	f.Add([]byte{CodecVersion + 1, 0})
+	f.Add([]byte{CodecVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // huge length prefix
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if lr, err := DecodeLoadRequest(data); err == nil {
+			back, err2 := DecodeLoadRequest(AppendLoadRequest(nil, &lr))
+			// NaN ambient compares unequal to itself; bit-compare it.
+			sameAmbient := math.Float64bits(back.AmbientC) == math.Float64bits(lr.AmbientC)
+			back.AmbientC, lr.AmbientC = 0, 0
+			if err2 != nil || back != lr || !sameAmbient {
+				t.Fatalf("load request does not survive re-encoding: %+v vs %+v (%v)", lr, back, err2)
+			}
+		}
+		if cr, err := DecodeCampaignRequest(data); err == nil {
+			back, err2 := DecodeCampaignRequest(AppendCampaignRequest(nil, &cr))
+			if err2 != nil || !reflect.DeepEqual(back, cr) {
+				t.Fatalf("campaign request does not survive re-encoding: %+v vs %+v (%v)", cr, back, err2)
+			}
+		}
+		if e, err := DecodeError(data); err == nil {
+			back, err2 := DecodeError(AppendError(nil, &e))
+			if err2 != nil || back != e {
+				t.Fatalf("error value does not survive re-encoding: %+v vs %+v (%v)", e, back, err2)
+			}
+		}
+		if s, err := DecodeCampaignSummary(data); err == nil {
+			back, err2 := DecodeCampaignSummary(AppendCampaignSummary(nil, &s))
+			if err2 != nil || back != s {
+				t.Fatalf("summary does not survive re-encoding: %+v vs %+v (%v)", s, back, err2)
+			}
+		}
+	})
+}
+
+// FuzzFrameRead drives the frame layer (header parse, payload budget,
+// optional decompression) with hostile input. The budget must hold: a
+// corrupt length prefix can reject, but never allocate past maxPayload
+// or panic.
+func FuzzFrameRead(f *testing.F) {
+	var seed bytes.Buffer
+	fr := Frame{Type: TypeResult, Flags: SourceFlag("cache"), ID: 7}
+	_ = WriteFrame(&seed, &fr, []byte(`{"page":"Alipay"}`))
+	f.Add(seed.Bytes())
+
+	var compressed bytes.Buffer
+	payload := bytes.Repeat([]byte("abcdefgh"), 128)
+	packed, ok := Compress(payload)
+	cf := Frame{Type: TypeResult, Flags: FlagCompressed, ID: 8}
+	if ok {
+		_ = WriteFrame(&compressed, &cf, packed)
+	}
+	f.Add(compressed.Bytes())
+
+	huge := make([]byte, HeaderSize)
+	PutHeader(huge, &Frame{Len: 1 << 31, Type: TypeLoad, ID: 1})
+	f.Add(huge)
+	f.Add([]byte{0, 0})
+
+	const budget = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, payload, err := ReadFrame(bytes.NewReader(data), budget)
+		if err != nil {
+			return
+		}
+		if int64(len(payload)) > budget {
+			t.Fatalf("payload %d exceeds budget %d", len(payload), budget)
+		}
+		// A parsed frame re-encodes to the same bytes it came from.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, &fr, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:HeaderSize+len(payload)]) {
+			t.Fatal("frame re-encoding diverges from input")
+		}
+		if fr.Flags&FlagCompressed != 0 {
+			// Decompression is budget-bounded and must not panic;
+			// success must round trip through Compress+Decompress.
+			plain, err := Decompress(payload, budget)
+			if err != nil {
+				return
+			}
+			if int64(len(plain)) > budget {
+				t.Fatalf("decompressed %d bytes past budget %d", len(plain), budget)
+			}
+			_ = plain
+		}
+	})
+}

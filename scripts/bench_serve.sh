@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # bench_serve.sh — record the serving-path performance trajectory.
 #
-# Boots an in-process dorad (doraload -self), drives it with the
-# default mixed workload (10% campaign grids, 40% repeats so the
-# dedup and run-cache paths see traffic), and writes the structured
-# report to BENCH_SERVE.json at the repo root (or the path given as
-# $1). The document is schema-checked twice: by doraload itself on
-# generation and again here via `doraload -validate`, the same gate CI
-# applies to the committed file.
+# Boots an in-process dorad (doraload -self) and drives the SAME
+# deterministic request mix over both transports — the JSON compat
+# endpoints and the binary stream (internal/wire) — writing one
+# side-by-side report to BENCH_SERVE.json at the repo root (or the
+# path given as $1). The mix is repeat-heavy (90% repeats, multi-page
+# campaign grids) so the run-cache fast path dominates and the
+# measurement isolates transport cost, which is what the stream
+# transport exists to remove; the report's comparison block records
+# the throughput/p50/p99/first-result gains. The document is
+# schema-checked twice: by doraload itself on generation and again
+# here via `doraload -validate`, the same gate CI applies to the
+# committed file.
 #
 # Knobs (environment):
-#   DURATION     load window, default 5s
+#   DURATION     load window per transport, default 5s
 #   CONCURRENCY  workers, default 4
 #   QPS          open-loop arrival rate, default 0 (closed loop)
+#   TRANSPORT    json | stream | both, default both
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_SERVE.json}"
@@ -20,13 +26,15 @@ out="${1:-BENCH_SERVE.json}"
 duration="${DURATION:-5s}"
 concurrency="${CONCURRENCY:-4}"
 qps="${QPS:-0}"
+transport="${TRANSPORT:-both}"
 
 echo "building doraload..." >&2
 go build -o /tmp/doraload ./cmd/doraload
 
-echo "driving in-process dorad for ${duration} (c=${concurrency}, qps=${qps})..." >&2
-/tmp/doraload -self -duration "$duration" -c "$concurrency" -qps "$qps" \
-  -seed 1 -campaign-frac 0.1 -repeat-frac 0.4 \
+echo "driving in-process dorad for ${duration}/transport (transport=${transport}, c=${concurrency}, qps=${qps})..." >&2
+/tmp/doraload -self -transport "$transport" -duration "$duration" -c "$concurrency" -qps "$qps" \
+  -seed 1 -campaign-frac 0.1 -repeat-frac 0.9 \
+  -pages Alipay,Twitter,Reddit,IMDB -governors interactive,ondemand \
   -log-level warn -json "$out"
 
 /tmp/doraload -validate "$out" >&2
