@@ -313,8 +313,12 @@ func (s *Server) BeginDrain() {
 		conns = append(conns, sc)
 	}
 	s.streamMu.Unlock()
+	// goodbye's Goodbye enqueue can block up to the stream write
+	// timeout on a stalled client with a full out queue; one goroutine
+	// per connection keeps drain initiation from serializing behind
+	// slow clients.
 	for _, sc := range conns {
-		sc.goodbye()
+		go sc.goodbye()
 	}
 }
 

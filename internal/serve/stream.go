@@ -41,8 +41,10 @@ const (
 )
 
 // outFrame is one queued completion frame; sentinel marks the writer
-// shutdown token the drain path injects after the last in-flight
-// request finished (flush everything, close the conn, exit).
+// shutdown token injected after the last in-flight request finished
+// (flush everything, close the conn, exit). The sentinel is the ONLY
+// writer shutdown signal — out is never closed, because goodbye() can
+// race teardown and a send on a closed channel would panic.
 type outFrame struct {
 	f        wire.Frame
 	payload  []byte
@@ -264,10 +266,14 @@ readLoop:
 
 	// Teardown: abandon whatever is still running (the conn is dead or
 	// dying; nobody is left to read the answers), wait the handlers
-	// out, then let the writer drain and exit.
+	// out, then stop the writer with the shutdown sentinel. sc.out is
+	// deliberately never closed — goodbye() may be enqueueing the
+	// Goodbye frame or its own sentinel concurrently, and a send on a
+	// closed channel would panic; duplicate sentinels are harmless
+	// (the writer exits on the first, enqueue fails fast afterwards).
 	sc.cancel()
 	sc.reqs.Wait()
-	close(sc.out)
+	sc.enqueue(outFrame{sentinel: true})
 	<-sc.writerDone
 	sc.conn.Close()
 }
@@ -307,17 +313,15 @@ func (sc *streamConn) sendError(id uint64, apiErr *apiError) {
 // queued frame, then greedily drains whatever else is already queued
 // and ships the whole batch under one deadline-bounded flush. Small
 // completion frames from concurrent requests coalesce into one
-// syscall; the frames-per-flush histogram records how well.
+// syscall; the frames-per-flush histogram records how well. The loop
+// exits only on the shutdown sentinel or a write error — never on a
+// channel close, which would let a concurrent enqueue panic.
 func (sc *streamConn) writeLoop() {
 	defer close(sc.writerDone)
 	s := sc.srv
 	writeTimeout := s.cfg.StreamWriteTimeout
 	for {
-		of, ok := <-sc.out
-		if !ok {
-			_ = sc.flush(writeTimeout)
-			return
-		}
+		of := <-sc.out
 		var werr error
 		batch := 0
 		closing := false
@@ -334,13 +338,8 @@ func (sc *streamConn) writeLoop() {
 				break
 			}
 			select {
-			case of2, ok2 := <-sc.out:
-				if !ok2 {
-					closing = true
-				} else {
-					of = of2
-					continue
-				}
+			case of = <-sc.out:
+				continue
 			default:
 			}
 			break
@@ -520,11 +519,19 @@ func (sc *streamConn) doCampaign(id uint64, payload []byte) {
 	errored := 0
 	var mu sync.Mutex
 	apiErr = s.executeCampaign(ctx, cells, func(i int, cell CampaignCell, source string) {
-		sources[i] = source
 		body, merr := json.Marshal(cell)
 		if merr != nil {
-			return // cannot happen for a CampaignCell; the summary still counts the cell
+			// Unreachable for a cell executeCampaign builds, but if it
+			// ever fires the client must still see one frame per cell —
+			// the CampaignEnd summary counts them all — so ship the cell
+			// as a structured error and drop its provenance instead of
+			// silently sending fewer frames than summary.Cells.
+			cell = CampaignCell{Page: cell.Page, CoRunner: cell.CoRunner, Governor: cell.Governor, Seed: cell.Seed,
+				Error: &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode campaign cell: " + merr.Error()}}
+			source = ""
+			body, _ = json.Marshal(cell)
 		}
+		sources[i] = source
 		if cell.Error != nil {
 			mu.Lock()
 			errored++

@@ -424,6 +424,30 @@ func TestStreamDrainGoodbye(t *testing.T) {
 	}
 }
 
+// TestStreamDisconnectDrainRace: a client disconnect (reader teardown)
+// racing BeginDrain's goodbye must never crash the daemon — the writer
+// queue is shut down by a sentinel, not a channel close, precisely so
+// goodbye's concurrent enqueue cannot hit a closed channel and panic.
+// Iterated to give the race a window; run under -race in CI.
+func TestStreamDisconnectDrainRace(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		s := NewServer(Config{})
+		ts := httptest.NewServer(s.Handler())
+		conn := rawHandshake(t, ts)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); conn.Close() }()
+		go func() { defer wg.Done(); s.BeginDrain() }()
+		wg.Wait()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("iteration %d: drain after disconnect race: %v", i, err)
+		}
+		cancel()
+		ts.Close()
+	}
+}
+
 // TestStreamStalledConnCannotHoldDrain is the listener-hardening
 // regression test: connections that stall mid-frame, or never read
 // their side of the stream, must not hold a graceful drain open.
