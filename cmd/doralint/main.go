@@ -1,15 +1,21 @@
 // Command doralint runs the repository's static-analysis suite (see
-// internal/lint): determinism, maporder, hotpath, and telemetrysafe,
-// plus validation of //doralint:allow suppressions. It is pure
-// standard library and needs no network.
+// internal/lint): the per-package rules (determinism, maporder,
+// hotpath, telemetrysafe), the call-graph rules (chanclose, goroleak,
+// locksafe, detflow), and validation of //doralint:allow suppressions.
+// It is pure standard library and needs no network.
 //
 // Usage:
 //
-//	doralint [-json] [-dir D] [packages]
+//	doralint [-json] [-dir D] [-rule R[,R...]] [-pkg P[,P...]] [packages]
 //
 // With no packages (or "./..."), the whole module containing -dir is
-// analyzed. Package arguments select a subset by import path or
-// module-relative directory; a trailing /... matches subtrees.
+// analyzed. Package arguments — positional or via -pkg — select where
+// findings are reported by import path or module-relative directory; a
+// trailing /... matches subtrees. The module is always loaded and the
+// call graph always built in full, so package selection scopes the
+// report, never the analysis. -rule runs a subset of the rules, which
+// with -pkg makes the interprocedural rules usable as a fast
+// pre-commit check (e.g. -rule chanclose,goroleak -pkg internal/serve).
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
 // usage or load errors (parse failures, type errors).
@@ -19,7 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"sort"
 	"strings"
 
 	"dora/internal/lint"
@@ -30,9 +36,11 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable report (LINT_REPORT.json shape) on stdout")
 	dir := flag.String("dir", ".", "directory inside the module to analyze")
+	ruleFlag := flag.String("rule", "", "comma-separated subset of rules to run (default: all)")
+	pkgFlag := flag.String("pkg", "", "comma-separated package patterns to report on (the whole module is still analyzed)")
 	logFlags := obslog.RegisterFlags(flag.CommandLine)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: doralint [-json] [-dir D] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: doralint [-json] [-dir D] [-rule R[,R...]] [-pkg P[,P...]] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,18 +60,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	analyzers, err := selectRules(*ruleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doralint:", err)
+		os.Exit(2)
+	}
+
 	mod, err := lint.LoadModule(*dir)
 	if err != nil {
 		logger.Error().Err(err).Str("dir", *dir).Msg("module load failed")
 		fmt.Fprintln(os.Stderr, "doralint:", err)
 		os.Exit(2)
 	}
-	if err := selectPackages(mod, flag.Args()); err != nil {
+	patterns := flag.Args()
+	for _, p := range strings.Split(*pkgFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			patterns = append(patterns, p)
+		}
+	}
+	if err := mod.Select(patterns); err != nil {
 		fmt.Fprintln(os.Stderr, "doralint:", err)
 		os.Exit(2)
 	}
 
-	analyzers := lint.Analyzers()
 	logger.Debug().Int("packages", len(mod.Pkgs)).Int("analyzers", len(analyzers)).Msg("analysis starting")
 	diags := lint.Run(mod, analyzers)
 	logger.Info().Int("packages", len(mod.Pkgs)).Int("findings", len(diags)).Msg("analysis complete")
@@ -89,59 +108,40 @@ func main() {
 	}
 }
 
-// selectPackages narrows mod.Pkgs to the requested patterns. "./..."
-// (and no patterns at all) selects everything; other patterns match an
-// import path or a module-relative directory, with /... selecting the
-// subtree.
-func selectPackages(mod *lint.Module, patterns []string) error {
-	if len(patterns) == 0 {
-		return nil
+// selectRules resolves the -rule flag to a subset of the registered
+// analyzers, preserving suite order. An empty flag means all.
+func selectRules(ruleFlag string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if ruleFlag == "" {
+		return all, nil
 	}
-	keep := map[string]bool{}
-	for _, pat := range patterns {
-		if pat == "./..." || pat == "..." || pat == "all" {
-			return nil
-		}
-		matched := false
-		for _, pkg := range mod.Pkgs {
-			if matchPackage(mod, pkg, pat) {
-				keep[pkg.Path] = true
-				matched = true
-			}
-		}
-		if !matched {
-			return fmt.Errorf("pattern %q matches no packages in module %s", pat, mod.Path)
+	want := map[string]bool{}
+	for _, r := range strings.Split(ruleFlag, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			want[r] = true
 		}
 	}
-	var pkgs []*lint.Package
-	for _, pkg := range mod.Pkgs {
-		if keep[pkg.Path] {
-			pkgs = append(pkgs, pkg)
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
 		}
 	}
-	mod.Pkgs = pkgs
-	return nil
-}
-
-// matchPackage reports whether pkg matches one CLI pattern, given as
-// an import path ("dora/internal/soc") or module-relative directory
-// ("./internal/soc", "internal/soc").
-func matchPackage(mod *lint.Module, pkg *lint.Package, pat string) bool {
-	sub := false
-	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
-		pat, sub = rest, true
-	}
-	pat = filepath.ToSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/"))
-	candidates := []string{pat}
-	if pat == "" || pat == "." {
-		candidates = []string{mod.Path}
-	} else if pat != mod.Path && !strings.HasPrefix(pat, mod.Path+"/") {
-		candidates = append(candidates, mod.Path+"/"+pat)
-	}
-	for _, c := range candidates {
-		if pkg.Path == c || (sub && strings.HasPrefix(pkg.Path, c+"/")) {
-			return true
+	if len(want) > 0 {
+		var unknown, known []string
+		for r := range want {
+			unknown = append(unknown, r)
 		}
+		sort.Strings(unknown)
+		for _, a := range all {
+			known = append(known, a.Name)
+		}
+		return nil, fmt.Errorf("unknown rule(s) %s (known: %s; the \"allow\" meta-rule always runs)",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
 	}
-	return false
+	if len(out) == 0 {
+		return all, nil
+	}
+	return out, nil
 }

@@ -65,6 +65,7 @@ func (s *Suite) IntervalStudy() (*IntervalResult, error) {
 		}
 	}
 	results := make([]sim.Result, len(cells))
+	//doralint:allow detflow pool width (DORA_WORKERS) only schedules independent cells; each result is computed from its own seeded model and written to a fixed index, so observables are width-invariant
 	if err := pool.Run(len(cells), s.Workers, func(i int) error {
 		c := cells[i]
 		wl := workloads[c.wi]

@@ -327,6 +327,7 @@ func (s *Suite) TableIII() (*TableIIIResult, error) {
 	}
 	kernels := corun.Kernels()
 	mpkis := make([]float64, len(kernels))
+	//doralint:allow detflow pool width (DORA_WORKERS) only schedules independent kernels; each MPKI lands at a fixed index, so observables are width-invariant
 	if err := pool.Run(len(kernels), s.Workers, func(i int) error {
 		v, err := s.kernelMPKI(kernels[i])
 		mpkis[i] = v

@@ -368,6 +368,7 @@ func (s *Suite) measure(ctx context.Context, o RunOptions) (sim.Result, error) {
 // per-run seed depends only on the options, so a prefetched matrix is
 // bit-identical to one built serially.
 func (s *Suite) Prefetch(opts []RunOptions) error {
+	//doralint:allow detflow pool width (DORA_WORKERS) only warms the run cache concurrently; Run is deterministic per options, so the cache contents are width-invariant
 	return pool.Run(len(opts), s.Workers, func(i int) error {
 		_, err := s.Run(opts[i])
 		return err

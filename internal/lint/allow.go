@@ -24,12 +24,16 @@ func (a *allowDirective) valid(known map[string]bool) bool {
 	return known[a.rule] && a.reason != ""
 }
 
-// collectAllows parses every //doralint:allow comment in the module.
-// Text from the first "// want" marker on is ignored, so the lint
-// fixture files can carry expectation comments on the same line.
+// collectAllows parses every //doralint:allow comment in the module's
+// selected packages. Text from the first "// want" marker on is
+// ignored, so the lint fixture files can carry expectation comments on
+// the same line.
 func collectAllows(mod *Module) []*allowDirective {
 	var allows []*allowDirective
 	for _, pkg := range mod.Pkgs {
+		if !mod.PkgSelected(pkg) {
+			continue
+		}
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -61,6 +65,13 @@ func collectAllows(mod *Module) []*allowDirective {
 // (trailing comment) or the line directly below (standalone comment
 // above the offending code). RuleAllow diagnostics are never
 // suppressible.
+//
+// "Known rule" is judged against the full registered suite, not the
+// subset that ran, so a -rule invocation does not misreport another
+// rule's legitimate suppressions as unknown; conversely the
+// unused-suppression check only applies to rules that actually ran
+// this invocation, since a suppression for a skipped rule had nothing
+// to match.
 func applyAllows(mod *Module, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
 	allows := collectAllows(mod)
 	if len(allows) == 0 {
@@ -68,9 +79,13 @@ func applyAllows(mod *Module, analyzers []*Analyzer, diags []Diagnostic) []Diagn
 	}
 	known := map[string]bool{}
 	var names []string
-	for _, a := range analyzers {
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 		names = append(names, a.Name)
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
 	}
 
 	type key struct {
@@ -113,7 +128,7 @@ func applyAllows(mod *Module, analyzers []*Analyzer, diags []Diagnostic) []Diagn
 		case a.reason == "":
 			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
 				Message: fmt.Sprintf("suppression of %q needs a reason: //%s %s <why this is safe>", a.rule, allowPrefix, a.rule)})
-		case !a.used:
+		case !a.used && ran[a.rule]:
 			kept = append(kept, Diagnostic{Rule: RuleAllow, Pos: a.pos,
 				Message: fmt.Sprintf("unused suppression of %q — no matching diagnostic on this or the next line; delete the stale //%s", a.rule, allowPrefix)})
 		}

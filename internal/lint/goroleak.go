@@ -1,0 +1,110 @@
+package lint
+
+// GoroLeak flags goroutines that can block forever: a spawned function
+// (or anything it calls synchronously) performing a channel operation
+// that provably has no counterpart anywhere in the module, or a
+// defaultless select in which every case is such an operation.
+//
+// The rule is absence-based, so it only reasons about channels the
+// call-graph builder marked fully visible: every definition comes from
+// make (or nil) and every use is a recognized channel context. A
+// channel that is a parameter, is returned, or is passed to any call
+// is "escaped" — unseen sends may exist — and exempt. That keeps the
+// classic escape hatches legal for free: <-ctx.Done() and
+// <-time.After(d) are opaque expressions (no object), and a channel
+// handed to signal.Notify has escaped.
+var GoroLeak = &Analyzer{
+	Name: RuleGoroLeak,
+	Doc: "flags go statements whose goroutine can block forever on a " +
+		"channel op with no counterpart send/recv/close in the module, or " +
+		"on a defaultless select where every case is stuck",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(pass *ModulePass) {
+	g := pass.Graph
+	reported := map[int]bool{} // by op offset, so overlapping spawn trees report once
+	for _, fi := range g.Funcs {
+		for i := range fi.Spawns {
+			sp := &fi.Spawns[i]
+			r := g.reach(sp.To, false)
+			// Iterate g.Funcs (not the reach set) for deterministic order.
+			for _, h := range g.Funcs {
+				if !r[h] {
+					continue
+				}
+				for _, op := range h.ChanOps {
+					if op.InSelect || reported[int(op.Pos)] {
+						continue
+					}
+					if why := stuckOp(g, op); why != "" {
+						reported[int(op.Pos)] = true
+						pass.Reportf(op.Pos,
+							"goroutine spawned at %s blocks forever here: %s; add a done/ctx escape branch or annotate //doralint:allow %s <reason>",
+							pass.pos(sp.Pos), why, RuleGoroLeak)
+					}
+				}
+				for _, sel := range h.Selects {
+					if sel.HasDefault || reported[int(sel.Pos)] {
+						continue
+					}
+					if allCasesStuck(g, sel) {
+						reported[int(sel.Pos)] = true
+						pass.Reportf(sel.Pos,
+							"goroutine spawned at %s blocks forever here: every case of this select waits on a channel with no counterpart operation in the module; add a done/ctx case or annotate //doralint:allow %s <reason>",
+							pass.pos(sp.Pos), RuleGoroLeak)
+					}
+				}
+			}
+		}
+	}
+}
+
+// stuckOp explains why a non-select channel operation can never
+// complete, or returns "" when a counterpart exists (or could exist —
+// escaped or unresolved channels are given the benefit of the doubt).
+func stuckOp(g *Graph, op ChanOp) string {
+	if op.Ch == nil {
+		return ""
+	}
+	ci := g.Chans[op.Ch]
+	if ci == nil || ci.Escaped {
+		return ""
+	}
+	name := op.Ch.Name()
+	switch op.Kind {
+	case ChanOpRecv:
+		if len(ci.Sends) == 0 && len(ci.Closes) == 0 {
+			return "receive on channel \"" + name + "\", which is never sent on or closed"
+		}
+	case ChanOpSend:
+		if len(ci.Recvs) == 0 && len(ci.Ranges) == 0 {
+			return "send on channel \"" + name + "\", which is never received from"
+		}
+	case ChanOpRange:
+		if len(ci.Sends) == 0 && len(ci.Closes) == 0 {
+			return "range over channel \"" + name + "\", which is never sent on or closed"
+		}
+	}
+	return ""
+}
+
+// allCasesStuck reports whether every communication case of a
+// defaultless select waits on a fully visible channel with no
+// counterpart. One opaque, escaped, or satisfiable case makes the
+// select fine.
+func allCasesStuck(g *Graph, sel SelectOp) bool {
+	if len(sel.Cases) == 0 {
+		return false // `select {}` is a deliberate block-forever idiom
+	}
+	for _, c := range sel.Cases {
+		kind := ChanOpRecv
+		if c.Send {
+			kind = ChanOpSend
+		}
+		if stuckOp(g, ChanOp{Kind: kind, Ch: c.Ch, Pos: c.Pos}) == "" {
+			return false
+		}
+	}
+	return true
+}

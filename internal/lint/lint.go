@@ -6,7 +6,7 @@
 // nothing but the standard library (go/parser, go/ast, go/types and a
 // source importer), so it runs offline and adds no dependencies.
 //
-// Four analyzers ship with the suite:
+// Eight analyzers ship with the suite. Four are per-package:
 //
 //   - determinism: bans wall-clock reads (time.Now/Since/Until),
 //     global-RNG calls (top-level math/rand functions other than
@@ -29,6 +29,20 @@
 //     fmt.Sprint*'d or string-concatenated arguments unless the call
 //     is guarded by a nil check on a telemetry handle, keeping the
 //     disabled-telemetry fast path free of formatting work.
+//
+// Four are interprocedural, running over a module-wide static call
+// graph (see callgraph.go and DESIGN.md §12):
+//
+//   - chanclose: a channel closed in one function while a send on the
+//     same channel is reachable from a goroutine spawned outside the
+//     closer's call tree — the send-on-closed-channel race.
+//   - goroleak: a spawned goroutine that provably blocks forever on a
+//     channel operation with no counterpart anywhere in the module.
+//   - locksafe: blocking work (channel ops, time.Sleep, Wait, I/O)
+//     reachable while a sync.Mutex or sync.RWMutex is held.
+//   - detflow: determinism as taint — a simulation-set package calling
+//     a function outside the set that transitively reaches time.Now,
+//     the global RNG, os.Getenv, or the monotonic clock.
 //
 // Any diagnostic can be suppressed with an annotation on the same line
 // or the line immediately above:
@@ -55,6 +69,11 @@ const (
 	RuleMapOrder      = "maporder"
 	RuleHotPath       = "hotpath"
 	RuleTelemetrySafe = "telemetrysafe"
+	// Interprocedural rules, run over the module call graph.
+	RuleChanClose = "chanclose"
+	RuleGoroLeak  = "goroleak"
+	RuleLockSafe  = "locksafe"
+	RuleDetFlow   = "detflow"
 	// RuleAllow is the meta-rule reporting malformed or stale
 	// //doralint:allow suppressions. It cannot itself be suppressed.
 	RuleAllow = "allow"
@@ -97,16 +116,33 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 }
 
-// Analyzer is one named check run over every package of the module.
+// Analyzer is one named check. Per-package analyzers set Run and see
+// one package at a time; whole-module analyzers set RunModule and see
+// the call graph. Exactly one of the two is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
-// Analyzers returns the full doralint suite, in reporting order.
+// Analyzers returns the full doralint suite, in reporting order: the
+// per-package rules first, then the call-graph rules.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, HotPath, TelemetrySafe}
+	return []*Analyzer{
+		Determinism, MapOrder, HotPath, TelemetrySafe,
+		ChanClose, GoroLeak, LockSafe, DetFlow,
+	}
+}
+
+// AllRuleNames returns every rule name the suite can emit — each
+// analyzer plus the "allow" meta-rule — in reporting order.
+func AllRuleNames() []string {
+	names := make([]string, 0, len(Analyzers())+1)
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return append(names, RuleAllow)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -175,6 +211,34 @@ func (p *Pass) isString(e ast.Expr) bool {
 	return ok && b.Info()&types.IsString != 0
 }
 
+// ModulePass carries one whole-module analyzer's view of the module
+// and its call graph. Diagnostics from module analyzers land in the
+// same stream as per-package ones; when the module has an active
+// package selection, Run filters them to the selected packages after
+// the fact (the graph itself is always built over the full module, so
+// cross-package reachability never degrades under -pkg).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	Graph    *Graph
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Mod.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// pos renders a position as "file:line" for inclusion in messages.
+func (p *ModulePass) pos(pos token.Pos) string {
+	pp := p.Mod.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", pp.Filename, pp.Line)
+}
+
 // pathBase returns the last element of an import path.
 func pathBase(path string) string {
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
@@ -200,15 +264,40 @@ func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
 	})
 }
 
-// Run executes the analyzers over every package of mod, applies the
+// Run executes the analyzers over mod — per-package rules on each
+// selected package, call-graph rules on the whole module — applies the
 // //doralint:allow suppressions, appends the suppression meta
 // diagnostics, and returns the surviving findings sorted by position.
+// With an active package selection (Module.Select), per-package rules
+// skip unselected packages and module-rule findings outside the
+// selection are dropped, but the call graph always spans the full
+// module.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range mod.Pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		if !mod.PkgSelected(pkg) {
+			continue
 		}
+		for _, a := range analyzers {
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+		}
+	}
+	needGraph := false
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			needGraph = true
+		}
+	}
+	if needGraph {
+		g := mod.Graph()
+		for _, a := range analyzers {
+			if a.RunModule != nil {
+				a.RunModule(&ModulePass{Analyzer: a, Mod: mod, Graph: g, diags: &diags})
+			}
+		}
+		diags = mod.filterSelected(diags)
 	}
 	diags = applyAllows(mod, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {

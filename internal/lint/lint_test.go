@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -205,9 +206,109 @@ func TestReport(t *testing.T) {
 			t.Errorf("rule %s: %d locations for count %d", r.Rule, len(r.Locations), r.Count)
 		}
 	}
-	for _, name := range []string{RuleDeterminism, RuleMapOrder, RuleHotPath, RuleTelemetrySafe, RuleAllow} {
+	for _, name := range AllRuleNames() {
 		if _, ok := seen[name]; !ok {
 			t.Errorf("report is missing rule %s", name)
+		}
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("report Schema = %d, want %d", rep.Schema, ReportSchema)
+	}
+	if rep.Graph == nil || rep.Graph.Functions == 0 {
+		t.Errorf("report Graph stats missing or empty: %+v", rep.Graph)
+	}
+}
+
+// TestChanCloseFlagsClosingSite pins the chanclose diagnostic to the
+// exact close(r.out) line of the stream fixture — the shape of the
+// stream-writer shutdown race — so the finding cannot drift to the
+// send or the spawn site without this failing.
+func TestChanCloseFlagsClosingSite(t *testing.T) {
+	fx, err := fixtureRun()
+	if err != nil {
+		t.Fatalf("lint fixture module: %v", err)
+	}
+	src, err := os.ReadFile("testdata/src/stream/stream.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "close(r.out)") {
+			closeLine = i + 1
+			break
+		}
+	}
+	if closeLine == 0 {
+		t.Fatal("stream fixture no longer contains close(r.out)")
+	}
+	found := false
+	for _, d := range fx.diags {
+		if d.Rule != RuleChanClose || d.Pos.Filename != "stream/stream.go" {
+			continue
+		}
+		found = true
+		if d.Pos.Line != closeLine {
+			t.Errorf("chanclose diagnostic at stream/stream.go:%d, want the closing site at line %d", d.Pos.Line, closeLine)
+		}
+		if !strings.Contains(d.Message, `close of channel "out"`) {
+			t.Errorf("chanclose message does not name the channel: %s", d.Message)
+		}
+	}
+	if !found {
+		t.Errorf("no chanclose diagnostic in stream/stream.go")
+	}
+}
+
+// TestDetFlowWitnessChain pins the two-hop laundering case: the
+// diagnostic must carry the full call chain from the boundary call to
+// the wall-clock read, and the seeded-generator chain through the same
+// helper package must stay clean.
+func TestDetFlowWitnessChain(t *testing.T) {
+	fx, err := fixtureRun()
+	if err != nil {
+		t.Fatalf("lint fixture module: %v", err)
+	}
+	chain := false
+	for _, d := range fx.diags {
+		if d.Rule != RuleDetFlow {
+			continue
+		}
+		if strings.Contains(d.Message, "helper.Stamp → helper.now → time.Now") {
+			chain = true
+		}
+		if strings.Contains(d.Message, "NewRand") {
+			t.Errorf("detflow flagged the seeded-generator chain: %s", d.String())
+		}
+	}
+	if !chain {
+		t.Errorf("no detflow diagnostic carrying the witness chain helper.Stamp → helper.now → time.Now")
+	}
+}
+
+// TestCommittedLintReportListsAllRules guards the committed
+// LINT_REPORT.json against a registered rule silently missing from it
+// — the report regeneration script must be re-run whenever a rule is
+// added.
+func TestCommittedLintReportListsAllRules(t *testing.T) {
+	raw, err := os.ReadFile("../../LINT_REPORT.json")
+	if err != nil {
+		t.Fatalf("reading committed LINT_REPORT.json: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parsing committed LINT_REPORT.json: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("committed report schema = %d, want %d; re-run scripts/lint_report.sh", rep.Schema, ReportSchema)
+	}
+	listed := map[string]bool{}
+	for _, r := range rep.Rules {
+		listed[r.Rule] = true
+	}
+	for _, name := range AllRuleNames() {
+		if !listed[name] {
+			t.Errorf("committed report omits rule %q; re-run scripts/lint_report.sh", name)
 		}
 	}
 }

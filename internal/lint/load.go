@@ -21,6 +21,17 @@ type Module struct {
 	Path string // module path from the go.mod module directive
 	Fset *token.FileSet
 	Pkgs []*Package // every non-test package, sorted by import path
+
+	selected map[string]bool // nil = everything; see Select
+	graph    *Graph          // lazily built by Graph()
+}
+
+// Graph returns the module's call graph, building it on first use.
+func (m *Module) Graph() *Graph {
+	if m.graph == nil {
+		m.graph = BuildGraph(m)
+	}
+	return m.graph
 }
 
 // Package is one type-checked package of the module. File positions

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSafe flags blocking work inside a mutex critical section:
+// channel operations, defaultless selects, time.Sleep, WaitGroup/Cond
+// Wait, curated file/network I/O, and — interprocedurally — calls to
+// module functions that can reach any of those. A goroutine that
+// blocks while holding a sync.Mutex or sync.RWMutex stalls every other
+// acquirer, which on the serving path means admission and drain back
+// up behind a slow disk write.
+//
+// Held regions are computed per function and per lock object: a region
+// runs from a Lock/RLock call to the first following Unlock/RUnlock of
+// the same object, or to the end of the function when the unlock is
+// deferred (or absent). Regions do not extend into nested function
+// literals (a literal is its own node; if it is invoked synchronously
+// inside the region, the call edge carries the blocking verdict).
+// Acquiring another mutex is deliberately not "blocking" — lock
+// ordering is a different analysis — and interface-method calls are
+// opaque, so writing to an io.Writer under a lock (obslog's sink) is
+// accepted by design. One finding per region: the first blocking
+// operation inside it.
+var LockSafe = &Analyzer{
+	Name: RuleLockSafe,
+	Doc: "flags blocking operations (channel ops, selects, time.Sleep, " +
+		"Wait, file/network I/O, and calls reaching them) while a " +
+		"sync.Mutex or sync.RWMutex is held",
+	RunModule: runLockSafe,
+}
+
+func runLockSafe(pass *ModulePass) {
+	g := pass.Graph
+	for _, fi := range g.Funcs {
+		if len(fi.Locks) == 0 {
+			continue
+		}
+		events := blockingEvents(g, fi)
+		if len(events) == 0 {
+			continue
+		}
+		for _, reg := range lockRegions(fi) {
+			for _, ev := range events {
+				if ev.pos <= reg.start || ev.pos >= reg.end {
+					continue
+				}
+				kind := "Lock"
+				if reg.reader {
+					kind = "RLock"
+				}
+				pass.Reportf(ev.pos,
+					"%s while %q is held (%s at %s); move the blocking work outside the critical section or annotate //doralint:allow %s <reason>",
+					ev.desc, reg.obj.Name(), kind, pass.pos(reg.start), RuleLockSafe)
+				break // one finding per region
+			}
+		}
+	}
+}
+
+// lockRegion is one held span of one lock object inside one function.
+type lockRegion struct {
+	obj        types.Object
+	reader     bool
+	start, end token.Pos
+}
+
+// lockRegions derives held regions from a function's Lock/Unlock
+// calls. Pairing is positional: each Lock matches the first later
+// Unlock of the same object and flavor; a deferred (or missing) unlock
+// extends the region to the function's end. This under-approximates
+// branchy unlock patterns (early-return unlocks shrink the region to
+// the earliest one), trading missed reports for false-positive
+// freedom.
+func lockRegions(fi *FuncInfo) []lockRegion {
+	var regions []lockRegion
+	for _, lk := range fi.Locks {
+		if lk.Unlock || lk.Deferred {
+			continue
+		}
+		end := fi.Node.End()
+		for _, ul := range fi.Locks {
+			if ul.Unlock && !ul.Deferred && ul.Obj == lk.Obj && ul.Reader == lk.Reader && ul.Pos > lk.Pos {
+				end = ul.Pos
+				break
+			}
+		}
+		regions = append(regions, lockRegion{obj: lk.Obj, reader: lk.Reader, start: lk.Pos, end: end})
+	}
+	return regions
+}
+
+// blockEvent is one potentially blocking operation at a position.
+type blockEvent struct {
+	pos  token.Pos
+	desc string
+}
+
+// blockingEvents collects every potentially blocking operation in fi's
+// own body (not nested literals), sorted by position: channel ops
+// outside defaulted selects, defaultless selects, blocking external
+// calls, and calls to module functions that can block.
+func blockingEvents(g *Graph, fi *FuncInfo) []blockEvent {
+	var evs []blockEvent
+	for _, op := range fi.ChanOps {
+		if op.InSelect || op.Kind == ChanOpClose {
+			continue
+		}
+		evs = append(evs, blockEvent{op.Pos, chanOpDesc(op)})
+	}
+	for _, sel := range fi.Selects {
+		if !sel.HasDefault {
+			evs = append(evs, blockEvent{sel.Pos, "a select with no default case"})
+		}
+	}
+	for _, ext := range fi.Externals {
+		if d := blockingExternal(ext.Fn); d != "" {
+			evs = append(evs, blockEvent{ext.Pos, "call to " + d})
+		}
+	}
+	for _, e := range fi.Calls {
+		if d := g.blockDesc(e.To); d != "" {
+			evs = append(evs, blockEvent{e.Pos, "call to " + e.To.Name + ", which can block (" + d + ")"})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}

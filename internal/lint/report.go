@@ -6,15 +6,35 @@ import (
 	"sort"
 )
 
+// ReportSchema is the LINT_REPORT.json shape version. Schema 2 added
+// the call-graph statistics block and the four interprocedural rules
+// (chanclose, goroleak, locksafe, detflow); consumers should treat an
+// unknown schema as a hard error rather than guess.
+const ReportSchema = 2
+
 // Report is the machine-readable doralint output (doralint -json and
 // the LINT_REPORT.json CI artifact). Every rule of the suite appears,
 // including clean ones, so the report trajectory is diffable across
 // PRs the way the BENCH_*.json files are.
 type Report struct {
 	Tool   string        `json:"tool"`
+	Schema int           `json:"schema"`
 	Module string        `json:"module"`
 	Total  int           `json:"total"`
+	Graph  *GraphStats   `json:"graph,omitempty"`
 	Rules  []RuleSummary `json:"rules"`
+}
+
+// GraphStats summarizes the call graph the interprocedural rules ran
+// on — a coverage indicator for the report: dynamic_call_sites counts
+// the calls (function values, interface dispatch) the analysis
+// deliberately does not follow.
+type GraphStats struct {
+	Functions        int `json:"functions"`
+	CallEdges        int `json:"call_edges"`
+	SpawnSites       int `json:"spawn_sites"`
+	DynamicCallSites int `json:"dynamic_call_sites"`
+	Channels         int `json:"channels"`
 }
 
 // RuleSummary is one rule's findings.
@@ -41,7 +61,15 @@ func NewReport(mod *Module, analyzers []*Analyzer, diags []Diagnostic) *Report {
 		rules = append(rules, r)
 	}
 	sort.Strings(rules)
-	rep := &Report{Tool: "doralint", Module: mod.Path, Total: len(diags)}
+	rep := &Report{Tool: "doralint", Schema: ReportSchema, Module: mod.Path, Total: len(diags)}
+	g := mod.Graph()
+	rep.Graph = &GraphStats{
+		Functions:        len(g.Funcs),
+		CallEdges:        g.CallEdges,
+		SpawnSites:       g.SpawnSites,
+		DynamicCallSites: g.DynamicSites,
+		Channels:         len(g.Chans),
+	}
 	for _, r := range rules {
 		rep.Rules = append(rep.Rules, RuleSummary{Rule: r, Count: len(byRule[r]), Locations: byRule[r]})
 	}

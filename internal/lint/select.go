@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// Select narrows reporting to the packages matching patterns, given as
+// import paths ("dora/internal/soc"), module-relative directories
+// ("./internal/soc", "internal/soc"), or either with a trailing /...
+// for the subtree. "./...", "...", "all", or an empty pattern list
+// selects everything. Selection affects which packages the per-package
+// rules visit and which findings survive, NOT what gets loaded or what
+// the call graph spans: the interprocedural rules always see the whole
+// module, so scoping doralint to one package cannot hide a
+// cross-package race from the analysis — it only quiets reports about
+// other packages.
+func (m *Module) Select(patterns []string) error {
+	m.selected = nil
+	if len(patterns) == 0 {
+		return nil
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == "all" || pat == "" {
+			m.selected = nil
+			return nil
+		}
+		matched := false
+		for _, pkg := range m.Pkgs {
+			if m.matchPackage(pkg, pat) {
+				keep[pkg.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return fmt.Errorf("pattern %q matches no packages in module %s", pat, m.Path)
+		}
+	}
+	m.selected = keep
+	return nil
+}
+
+// PkgSelected reports whether pkg is in the active selection (always
+// true with no selection).
+func (m *Module) PkgSelected(pkg *Package) bool {
+	return m.selected == nil || m.selected[pkg.Path]
+}
+
+// selectedFile reports whether a module-relative file path belongs to
+// a selected package.
+func (m *Module) selectedFile(file string) bool {
+	if m.selected == nil {
+		return true
+	}
+	dir := path.Dir(filepath.ToSlash(file))
+	for _, pkg := range m.Pkgs {
+		if !m.selected[pkg.Path] {
+			continue
+		}
+		rel, err := filepath.Rel(m.Root, pkg.Dir)
+		if err != nil {
+			continue
+		}
+		if path.Clean(filepath.ToSlash(rel)) == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// filterSelected drops diagnostics outside the active selection.
+func (m *Module) filterSelected(diags []Diagnostic) []Diagnostic {
+	if m.selected == nil {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if m.selectedFile(d.Pos.Filename) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// matchPackage reports whether pkg matches one selection pattern.
+func (m *Module) matchPackage(pkg *Package, pat string) bool {
+	sub := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		pat, sub = rest, true
+	}
+	pat = filepath.ToSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/"))
+	candidates := []string{pat}
+	if pat == "" || pat == "." {
+		candidates = []string{m.Path}
+	} else if pat != m.Path && !strings.HasPrefix(pat, m.Path+"/") {
+		candidates = append(candidates, m.Path+"/"+pat)
+	}
+	for _, c := range candidates {
+		if pkg.Path == c || (sub && strings.HasPrefix(pkg.Path, c+"/")) {
+			return true
+		}
+	}
+	return false
+}

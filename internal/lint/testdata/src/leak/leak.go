@@ -1,0 +1,105 @@
+// Package leak is a goroleak fixture: goroutines that provably block
+// forever on channels with no counterpart operation anywhere in the
+// module, next to the clean shapes the rule must accept — context and
+// timeout escapes, paired operations, and channels that escape the
+// analysis (handed to another function) and so get the benefit of the
+// doubt.
+package leak
+
+import (
+	"context"
+	"time"
+)
+
+// recvForever leaks: nothing ever sends on or closes trap.
+func recvForever() {
+	trap := make(chan int)
+	go func() {
+		<-trap // want `goroleak: goroutine spawned at leak/leak.go:\d+ blocks forever here: receive on channel "trap"`
+	}()
+}
+
+// sendForever leaks: nothing ever receives from sink.
+func sendForever() {
+	sink := make(chan int)
+	go func() {
+		sink <- 1 // want `goroleak: goroutine spawned at leak/leak.go:\d+ blocks forever here: send on channel "sink"`
+	}()
+}
+
+// stuckSelect leaks: both cases wait on channels with no counterpart,
+// and there is no default.
+func stuckSelect() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select { // want `goroleak: goroutine spawned at leak/leak.go:\d+ blocks forever here: every case of this select waits`
+		case <-a:
+		case b <- 1:
+		}
+	}()
+}
+
+// helperLeak leaks two call hops from the go statement: the spawned
+// literal calls drain, which receives on the dead channel.
+func helperLeak() {
+	dead := make(chan int)
+	go func() {
+		drain(dead)
+	}()
+}
+
+// drain's parameter escapes the analysis... except helperLeak's
+// channel also reaches here, so the receive below stays exempt (the
+// parameter aliases an unknown caller's channel). The leak is instead
+// reported on the naked receive of the package-local never-fed
+// channel.
+func drain(ch chan int) {
+	<-ch
+	<-neverFed // want `goroleak: goroutine spawned at leak/leak.go:\d+ blocks forever here: receive on channel "neverFed"`
+}
+
+// neverFed has no send or close anywhere in the module.
+var neverFed chan int
+
+// ctxEscape is clean: the ctx.Done case becomes ready when the caller
+// cancels, and its channel expression is opaque to the analysis.
+func ctxEscape(ctx context.Context) {
+	idle := make(chan int)
+	go func() {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// timeoutEscape is clean: time.After always fires.
+func timeoutEscape() {
+	idle := make(chan int)
+	go func() {
+		select {
+		case <-idle:
+		case <-time.After(time.Millisecond):
+		}
+	}()
+}
+
+// paired is clean: the send has a receive counterpart and vice versa.
+func paired() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// escaped is clean by conservatism: the channel is handed to another
+// function, so sends the analysis cannot see may exist.
+func escaped() {
+	hidden := make(chan int)
+	feed(hidden)
+	go func() { <-hidden }()
+}
+
+func feed(ch chan int) {
+	go func() { ch <- 1 }()
+}

@@ -24,7 +24,7 @@ func manual() time.Duration {
 // latency smuggles monotonic time into the simulation: every
 // reference to the Mono side is its own finding.
 func latency(mc clock.MonoClock) clock.MonoTime { // want `determinism: reference to clock.MonoClock reads the monotonic wall clock inside simulation package "membus"` `determinism: reference to clock.MonoTime reads the monotonic wall clock inside simulation package "membus"`
-	c := clock.MonoOr(mc) // want `determinism: reference to clock.MonoOr reads the monotonic wall clock inside simulation package "membus"`
+	c := clock.MonoOr(mc) // want `determinism: reference to clock.MonoOr reads the monotonic wall clock inside simulation package "membus"` `detflow: call to clock\.MonoOr reaches a nondeterministic input \(clock\.MonoOr \(monotonic wall clock\)\) from simulation package "membus"`
 	return c.MonoNow()    // want `determinism: reference to clock.MonoNow reads the monotonic wall clock inside simulation package "membus"`
 }
 

@@ -1,0 +1,20 @@
+// detflow fixtures: a wall-clock read laundered through a package
+// outside the determinism set is caught at the boundary call, while a
+// seeded-generator chain through the same package stays clean.
+package sim
+
+import "fixture/helper"
+
+// stamped launders time.Now through helper, two call hops outside the
+// determinism set — exactly the hole package-set determinism cannot
+// see and detflow exists to close.
+func stamped() int64 {
+	return helper.Stamp() // want `detflow: call to helper\.Stamp reaches a nondeterministic input \(helper\.Stamp → helper\.now → time\.Now\) from simulation package "sim"`
+}
+
+// seeded draws from a seeded generator built outside the set — no
+// finding: rand.New/rand.NewSource are not sources and *rand.Rand
+// methods are deterministic.
+func seeded() int64 {
+	return helper.NewRand(42).Int63()
+}

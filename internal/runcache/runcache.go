@@ -189,6 +189,7 @@ func (c *Cache) Save() error {
 		return fmt.Errorf("runcache: marshal: %w", err)
 	}
 	dir := filepath.Dir(c.path)
+	//doralint:allow locksafe Save snapshots the entry map atomically via temp-write-rename; the lock must span the I/O so a concurrent Put cannot split the snapshot
 	tmp, err := os.CreateTemp(dir, ".runcache-*")
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)

@@ -212,6 +212,7 @@ func Campaign(cfg Config) ([]Observation, error) {
 		ckpts = sim.NewCheckpointStore()
 	}
 	out := make([]Observation, len(cells))
+	//doralint:allow detflow pool width (DORA_WORKERS) only schedules independent cells; each observation is seeded per cell and written to a fixed index, so the dataset is width-invariant
 	err = pool.Run(len(cells), cfg.Workers, func(i int) error {
 		c := cells[i]
 		var key string
@@ -273,6 +274,7 @@ func FitStatic(cfg Config) (core.StaticPower, error) {
 		v, t, p float64
 	}
 	samples := make([]sample, len(cells))
+	//doralint:allow detflow pool width (DORA_WORKERS) only schedules independent cells; each sample is seeded per cell and written to a fixed index, so observables are width-invariant
 	if err := pool.Run(len(cells), cfg.Workers, func(i int) error {
 		cell := cells[i]
 		m, err := soc.New(cfg.SoC, cfg.Seed)

@@ -201,6 +201,7 @@ func (c *Client) send(typ byte, id uint64, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	f := Frame{Type: typ, ID: id}
+	//doralint:allow locksafe wmu exists to serialize frame writes on the shared connection; the buffered write+flush IS the critical section
 	if err := WriteFrame(c.bw, &f, payload); err != nil {
 		return err
 	}
