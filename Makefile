@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve bench-sampled serve-test stream-test fuzz-smoke load
+.PHONY: build test test-short race lint lint-report bench bench-pr2 bench-pr3 bench-serve bench-sampled serve-test stream-test cluster-test fuzz-smoke load
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRunCacheEntry$$' -fuzztime 30s ./internal/runcache/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameRead$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzGatewayRoute$$' -fuzztime 30s ./internal/cluster/
+
+# Sharded-cluster suite under the race detector: HRW placement and
+# membership unit tests, gateway refusal paths, and the in-process
+# multi-node harness e2e — fault injection (kill/hang/5xx/latency/
+# drain) plus the golden campaign fingerprint replayed through the
+# gateway at widths 1, 2, and 4 over both transports (not -short).
+cluster-test:
+	$(GO) test -race -v ./internal/cluster/...
 
 # Wire codec + stream e2e suites under the race detector, the same
 # slice the CI `stream` job runs.

@@ -1,0 +1,147 @@
+// Command doragate fronts a sharded dorad cluster: a stateless
+// gateway that routes each request key (device fingerprint +
+// canonicalized run options) to one worker via rendezvous hashing, so
+// every worker's run cache and in-flight dedup shard naturally with
+// zero coordination. Campaign grids fan out across the whole cluster
+// with per-cell re-route-and-retry on worker failure; index-derived
+// seeds keep the aggregate byte-identical to a single node at any
+// cluster width.
+//
+// Membership starts from the static -workers list and is refined by
+// periodic /healthz probing: a worker failing -fail-threshold
+// consecutive probes is evicted from placement, a succeeding probe
+// rejoins it, and draining workers stop receiving new placements
+// while they finish in-flight requests. Workers must all simulate the
+// same device — the gateway learns the device fingerprint from the
+// first probe (or takes -fingerprint) and evicts any worker reporting
+// a different one.
+//
+// Endpoints: POST /v1/load and /v1/campaign (proxied, same bodies as
+// dorad), GET /v1/pages (proxied), GET /v1/cluster (membership
+// snapshot), GET /healthz (503 until a worker is live), GET /metrics.
+//
+// Usage:
+//
+//	doragate -workers http://w1:8077,http://w2:8077 [-addr :8070]
+//	         [-transport json|stream] [-probe-interval 2s]
+//	         [-probe-timeout 1s] [-fail-threshold 3]
+//	         [-forward-timeout 0] [-fanout N] [-fidelity exact]
+//	         [-log-level info,access=warn] [-log-file doragate.log]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dora/internal/cluster"
+	"dora/internal/fidelity"
+	"dora/internal/obslog"
+	"dora/internal/serve"
+	"dora/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doragate: ")
+	addr := flag.String("addr", ":8070", "listen address")
+	workers := flag.String("workers", "", "comma-separated dorad worker base URLs (required)")
+	transport := flag.String("transport", cluster.TransportJSON, "worker transport: json (POST /v1/load) or stream (internal/wire)")
+	fingerprint := flag.String("fingerprint", "", "expected device fingerprint (default: adopt from the first probe)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health probe cadence")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-worker probe deadline")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a worker is evicted")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "per-attempt forward deadline; a slow worker turns into a re-route (0 = request deadline only)")
+	fanout := flag.Int("fanout", 0, "campaign cells forwarded concurrently (0 = one per CPU)")
+	fidelityFlag := flag.String("fidelity", "exact", "default simulation fidelity for requests that omit the field: exact|sampled")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight proxied requests")
+	logFlags := obslog.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	logger, logCloser, err := logFlags.Open("doragate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logCloser.Close()
+
+	var members []cluster.Member
+	for _, raw := range strings.Split(*workers, ",") {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		members = append(members, cluster.Member{URL: u})
+	}
+	if len(members) == 0 {
+		log.Fatal("no workers: pass -workers http://host:8077[,...]")
+	}
+
+	fid, err := fidelity.ParseMode(*fidelityFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gw, err := cluster.NewGateway(cluster.Config{
+		Members:         members,
+		Transport:       *transport,
+		Fingerprint:     *fingerprint,
+		FailThreshold:   *failThreshold,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		ForwardTimeout:  *forwardTimeout,
+		Fanout:          *fanout,
+		DefaultFidelity: fid.String(),
+		Metrics:         telemetry.NewRegistry(),
+		Log:             logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Background membership loop: probe immediately, then on the
+	// configured cadence until shutdown.
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	go gw.Run(probeCtx)
+
+	hs := serve.NewHTTPServer(*addr, gw.Handler())
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, transport=%s)", *addr, len(members), *transport)
+	logger.Info().
+		Str("addr", *addr).
+		Int("workers", len(members)).
+		Str("transport", *transport).
+		Msg("listening")
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("%s: shutting down (up to %s)...", sig, *drainTimeout)
+		logger.Info().Str("signal", sig.String()).Msg("shutting down")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	stopProbes()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v (forcing)", err)
+		logger.Warn().Err(err).Msg("shutdown forced")
+	}
+	fmt.Println("doragate: stopped")
+}

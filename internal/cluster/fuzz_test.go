@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGatewayRoute throws arbitrary routing keys and membership
+// shapes (names from a comma-split blob, liveness from a bitmask) at
+// the placement path and holds its contract: never panic, and either
+// return a member that is provably the live set's rendezvous winner
+// or fail with exactly ErrNoLiveMembers when nothing is live.
+func FuzzGatewayRoute(f *testing.F) {
+	f.Add("gate-route|fp|Alipay|7", []byte("w0,w1,w2"), uint64(0))
+	f.Add("", []byte(""), uint64(0))
+	f.Add("campaign-cell", []byte("w0,w0,w0"), uint64(1))
+	f.Add("k", []byte("a,b,c,d,e,f,g,h"), uint64(0xA5))
+	f.Add("seed-9000003", []byte(",,"), uint64(^uint64(0)))
+	f.Add("unicode-\xff\xfe", []byte("w\x00,w\xff"), uint64(2))
+
+	f.Fuzz(func(t *testing.T, key string, memberBlob []byte, failMask uint64) {
+		parts := strings.Split(string(memberBlob), ",")
+		if len(parts) > 64 {
+			parts = parts[:64]
+		}
+		members := make([]Member, 0, len(parts))
+		for _, p := range parts {
+			members = append(members, Member{Name: p, URL: "http://" + p})
+		}
+		if len(members) == 0 {
+			return
+		}
+		ms := NewMembership(members, 1, nil, nil)
+
+		// Knock members out per the mask: even bits evict, odd drain.
+		for i, name := range ms.Names() {
+			if i >= 64 {
+				break
+			}
+			if failMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if i%2 == 0 {
+				ms.ReportFailure(name)
+			} else {
+				ms.ReportDraining(name, "")
+			}
+		}
+
+		live := ms.Live()
+		got, err := ms.Route(key)
+		if err != nil {
+			if err != ErrNoLiveMembers {
+				t.Fatalf("Route error %v, want ErrNoLiveMembers", err)
+			}
+			if len(live) != 0 {
+				t.Fatalf("Route failed with %d live members", len(live))
+			}
+			return
+		}
+		if len(live) == 0 {
+			t.Fatal("Route succeeded with no live members")
+		}
+		want, ok := Pick(key, live)
+		if !ok || got.Name != want {
+			t.Fatalf("Route(%q) = %q, want rendezvous winner %q of %v", key, got.Name, want, live)
+		}
+		ranked := Rank(key, live)
+		if len(ranked) != len(live) || ranked[0] != want {
+			t.Fatalf("Rank(%q, %v) = %v, head must be the winner %q", key, live, ranked, want)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dora/internal/serve"
+)
+
+// newTestGateway builds a gateway over workers that don't exist —
+// enough for routing/refusal unit tests; the harness package covers
+// real forwarding.
+func newTestGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	if cfg.Members == nil {
+		cfg.Members = []Member{{Name: "w0", URL: "http://127.0.0.1:1"}}
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func doReq(t *testing.T, h http.Handler, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+func TestNewGatewayValidation(t *testing.T) {
+	if _, err := NewGateway(Config{}); err == nil {
+		t.Fatal("gateway with no members built")
+	}
+	if _, err := NewGateway(Config{
+		Members:   []Member{{URL: "http://x"}},
+		Transport: "carrier-pigeon",
+	}); err == nil {
+		t.Fatal("gateway with unknown transport built")
+	}
+}
+
+// TestGatewayRefusals covers the request-level refusals the gateway
+// produces without reaching any worker.
+func TestGatewayRefusals(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	h := g.Handler()
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"load wrong method", http.MethodGet, "/v1/load", "", http.StatusMethodNotAllowed, serve.CodeMethod},
+		{"campaign wrong method", http.MethodGet, "/v1/campaign", "", http.StatusMethodNotAllowed, serve.CodeMethod},
+		{"pages wrong method", http.MethodPost, "/v1/pages", "{}", http.StatusMethodNotAllowed, serve.CodeMethod},
+		{"cluster wrong method", http.MethodPost, "/v1/cluster", "{}", http.StatusMethodNotAllowed, serve.CodeMethod},
+		{"unknown route", http.MethodGet, "/v2/nope", "", http.StatusNotFound, serve.CodeNotFound},
+		{"malformed body", http.MethodPost, "/v1/load", "{", http.StatusBadRequest, serve.CodeBadRequest},
+		{"unknown page", http.MethodPost, "/v1/load", `{"page":"NotAPage"}`, http.StatusNotFound, serve.CodeNotFound},
+		{"unknown field", http.MethodPost, "/v1/load", `{"page":"Alipay","warp":9}`, http.StatusBadRequest, serve.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doReq(t, h, tc.method, tc.path, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			if code := resp.Header.Get(serve.ErrorCodeHeader); code != tc.code {
+				t.Fatalf("code = %q, want %q (body %s)", code, tc.code, body)
+			}
+		})
+	}
+}
+
+// TestGatewayUnreachableWorkers: every forward attempt fails at the
+// transport, so a valid request exhausts the (one-member) rank list
+// and is refused 503 + Retry-After with the gateway's own code — and
+// the failure counted toward that member's eviction.
+func TestGatewayUnreachableWorkers(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	resp, body := doReq(t, g.Handler(), http.MethodPost, "/v1/load", `{"page":"Alipay","seed":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if code := resp.Header.Get(serve.ErrorCodeHeader); code != CodeNoWorkers {
+		t.Fatalf("code = %q, want %q", code, CodeNoWorkers)
+	}
+	if st, _ := g.Membership().Get("w0"); st.Fails == 0 {
+		t.Fatal("transport failure not counted against the member")
+	}
+}
+
+// TestGatewayHealthzNoWorkers: with every member evicted the gateway
+// reports itself unplaceable (503) so load balancers stop sending it
+// traffic.
+func TestGatewayHealthzNoWorkers(t *testing.T) {
+	g := newTestGateway(t, Config{FailThreshold: 1})
+	g.Membership().ReportFailure("w0")
+	resp, body := doReq(t, g.Handler(), http.MethodGet, "/healthz", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d %s, want 503", resp.StatusCode, body)
+	}
+}
+
+// TestRouteKeyTimeoutInvariant: the processing deadline must not move
+// a request between workers — retries with a different budget hit the
+// same cache.
+func TestRouteKeyTimeoutInvariant(t *testing.T) {
+	g := newTestGateway(t, Config{Fingerprint: "fp"})
+	base := serve.LoadRequest{Page: "Alipay", Governor: "interactive", Seed: 9}
+	withTimeout := base
+	withTimeout.TimeoutMs = 12_000
+	if g.routeKey(base) != g.routeKey(withTimeout) {
+		t.Fatal("timeout_ms shifted the routing key")
+	}
+	otherSeed := base
+	otherSeed.Seed = 10
+	if g.routeKey(base) == g.routeKey(otherSeed) {
+		t.Fatal("distinct seeds share a routing key")
+	}
+}

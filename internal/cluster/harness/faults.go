@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// faults is one node's injectable failure state, applied by a
+// middleware in front of the real serve handler. All knobs are safe
+// for concurrent use and take effect on the next request.
+type faults struct {
+	mu        sync.Mutex
+	killed    bool
+	hangCh    chan struct{} // non-nil while hanging; closed to release
+	failLeft  int
+	latency   time.Duration
+	latencyCh chan struct{} // closed when latency is (re)set, waking sleepers
+}
+
+func newFaults() *faults { return &faults{latencyCh: make(chan struct{})} }
+
+func (f *faults) setKilled(v bool) {
+	f.mu.Lock()
+	f.killed = v
+	f.mu.Unlock()
+}
+
+func (f *faults) hang() {
+	f.mu.Lock()
+	if f.hangCh == nil {
+		f.hangCh = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+func (f *faults) releaseHang() {
+	f.mu.Lock()
+	ch := f.hangCh
+	f.hangCh = nil
+	f.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+func (f *faults) failNext(k int) {
+	f.mu.Lock()
+	f.failLeft = k
+	f.mu.Unlock()
+}
+
+// setLatency replaces the injected delay; requests already sleeping
+// under the old value are woken (they proceed normally), so teardown
+// never waits out a fault.
+func (f *faults) setLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	old := f.latencyCh
+	f.latencyCh = make(chan struct{})
+	f.mu.Unlock()
+	close(old)
+}
+
+// snapshot atomically reads the state one request acts under,
+// consuming one injected failure if armed.
+func (f *faults) snapshot() (killed bool, hangCh chan struct{}, inject bool, latency time.Duration, latencyCh chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failLeft > 0 {
+		f.failLeft--
+		inject = true
+	}
+	return f.killed, f.hangCh, inject, f.latency, f.latencyCh
+}
+
+// middleware wraps the node's real handler with the fault gates, in
+// crash-first order: a killed node never hangs or injects.
+func (f *faults) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		killed, hangCh, inject, latency, latencyCh := f.snapshot()
+		if killed {
+			// Drop the connection without a response byte, like a
+			// crashed process: hijack if the transport allows, else
+			// panic with ErrAbortHandler (net/http closes the conn
+			// without replying).
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if hangCh != nil {
+			select {
+			case <-hangCh:
+				// released: fall through and serve normally
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if inject {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		if latency > 0 {
+			timer := time.NewTimer(latency)
+			select {
+			case <-timer.C:
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			case <-latencyCh:
+				timer.Stop()
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// connTracker wraps a node's listener and remembers every accepted
+// connection, including ones the HTTP server no longer tracks after a
+// protocol upgrade hijacks them (the wire stream transport). Kill
+// closes them all — a crashed process severs its hijacked streams too,
+// and httptest.CloseClientConnections cannot reach those.
+type connTracker struct {
+	net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnTracker(l net.Listener) *connTracker {
+	return &connTracker{Listener: l, conns: make(map[net.Conn]struct{})}
+}
+
+func (ct *connTracker) Accept() (net.Conn, error) {
+	c, err := ct.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	tc := &trackedConn{Conn: c, ct: ct}
+	ct.mu.Lock()
+	ct.conns[tc] = struct{}{}
+	ct.mu.Unlock()
+	return tc, nil
+}
+
+// closeAll severs every connection accepted so far.
+func (ct *connTracker) closeAll() {
+	ct.mu.Lock()
+	conns := make([]net.Conn, 0, len(ct.conns))
+	for c := range ct.conns {
+		conns = append(conns, c)
+	}
+	ct.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (ct *connTracker) forget(c net.Conn) {
+	ct.mu.Lock()
+	delete(ct.conns, c)
+	ct.mu.Unlock()
+}
+
+type trackedConn struct {
+	net.Conn
+	ct *connTracker
+}
+
+func (c *trackedConn) Close() error {
+	c.ct.forget(c)
+	return c.Conn.Close()
+}

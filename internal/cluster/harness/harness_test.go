@@ -1,0 +1,426 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dora/internal/cache"
+	"dora/internal/cluster"
+	"dora/internal/cluster/harness"
+	"dora/internal/serve"
+	"dora/internal/sim"
+	"dora/internal/soc"
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+// loadVia posts one load through the gateway and returns the body plus
+// the worker/attempts routing headers.
+func loadVia(t *testing.T, c *harness.Cluster, body string) ([]byte, string, int) {
+	t.Helper()
+	resp, data := postJSON(t, c.URL()+"/v1/load", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load %s: %d %s", body, resp.StatusCode, data)
+	}
+	attempts, _ := strconv.Atoi(resp.Header.Get(cluster.AttemptsHeader))
+	return data, resp.Header.Get(cluster.WorkerHeader), attempts
+}
+
+// findSeedFor hunts a seed whose load the gateway places on worker
+// want. With W live workers a seed hits a given one with probability
+// ~1/W, so 32 tries miss with probability ~(1-1/W)^32.
+func findSeedFor(t *testing.T, c *harness.Cluster, want string) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 32; seed++ {
+		_, worker, _ := loadVia(t, c, fmt.Sprintf(`{"page":"Alipay","seed":%d}`, seed))
+		if worker == want {
+			return seed
+		}
+	}
+	t.Fatalf("no seed in 1..32 routed to %s (placement badly skewed?)", want)
+	return 0
+}
+
+func lruDevice() soc.Config {
+	cfg := soc.NexusFive()
+	cfg.L2Replacement = cache.LRU
+	return cfg
+}
+
+// goldenCampaignFingerprint mirrors internal/sim's constant: the whole
+// cluster — gateway routing, re-routes, both transports, any width —
+// must reproduce the simulator's observables bit for bit.
+const goldenCampaignFingerprint = "6fb861cb938de3ecd7315541f893384f09ce8b43fd1d15996eba12489b13049c"
+
+// gatewayFingerprint replays the golden campaign through a cluster of
+// the given width (one cluster per device configuration the campaign
+// uses, like the single-node golden test runs one server per config).
+func gatewayFingerprint(t *testing.T, width int, transport string) string {
+	t.Helper()
+	clusters := map[string]*harness.Cluster{}
+	for _, dev := range []soc.Config{soc.NexusFive(), lruDevice()} {
+		clusters[sim.ConfigFingerprint(dev)] = harness.New(t, width, harness.Options{
+			Device:    dev,
+			Transport: transport,
+		})
+	}
+	got, err := sim.CampaignFingerprintVia(1, func(cfg soc.Config, page, kern string, seed int64) (sim.Result, error) {
+		c := clusters[sim.ConfigFingerprint(cfg)]
+		if c == nil {
+			return sim.Result{}, fmt.Errorf("no cluster for config %s", sim.ConfigFingerprint(cfg))
+		}
+		body := fmt.Sprintf(`{"page":%q,"seed":%d}`, page, seed)
+		if kern != "" {
+			body = fmt.Sprintf(`{"page":%q,"corunner":%q,"seed":%d}`, page, kern, seed)
+		}
+		resp, data := postJSON(t, c.URL()+"/v1/load", body)
+		if resp.StatusCode != http.StatusOK {
+			return sim.Result{}, fmt.Errorf("load %s: %d %s", body, resp.StatusCode, data)
+		}
+		var r sim.Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return sim.Result{}, err
+		}
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestGatewayCampaignFingerprintGolden is the cluster's headline
+// contract: the golden campaign replayed through the gateway is
+// byte-identical to a single in-process node at every cluster width —
+// placement only decides *where* a cell runs, never what it computes.
+func TestGatewayCampaignFingerprintGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaigns; skipped in -short")
+	}
+	for _, width := range []int{1, 2, 4} {
+		width := width
+		t.Run(fmt.Sprintf("width-%d", width), func(t *testing.T) {
+			if got := gatewayFingerprint(t, width, cluster.TransportJSON); got != goldenCampaignFingerprint {
+				t.Fatalf("gateway campaign fingerprint drifted at width %d:\n got  %s\n want %s\nrouting is no longer observable-preserving", width, got, goldenCampaignFingerprint)
+			}
+		})
+	}
+}
+
+// TestGatewayCampaignFingerprintGoldenStream is the same contract over
+// the binary stream transport.
+func TestGatewayCampaignFingerprintGoldenStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaigns; skipped in -short")
+	}
+	if got := gatewayFingerprint(t, 2, cluster.TransportStream); got != goldenCampaignFingerprint {
+		t.Fatalf("stream-transport gateway campaign fingerprint drifted:\n got  %s\n want %s", got, goldenCampaignFingerprint)
+	}
+}
+
+// campaignBody is a small fast grid (4 browser-alone cells) used by
+// the byte-identity and fault tests.
+const campaignBody = `{"pages":["Alipay","Reddit"],"governors":["interactive","powersave"],"seed":11}`
+
+// TestGatewayCampaignBytesMatchSingleNode asserts the strongest
+// transport property short of the golden campaign: the gateway's
+// assembled /v1/campaign response — cells fanned out across three
+// workers — is byte-for-byte the response one dorad node writes for
+// the same request.
+func TestGatewayCampaignBytesMatchSingleNode(t *testing.T) {
+	single := harness.New(t, 1, harness.Options{})
+	resp, want := postJSON(t, single.Nodes[0].TS.URL+"/v1/campaign", campaignBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node campaign: %d %s", resp.StatusCode, want)
+	}
+	wantSource := resp.Header.Get(serve.SourceHeader)
+
+	c := harness.New(t, 3, harness.Options{})
+	resp, got := postJSON(t, c.URL()+"/v1/campaign", campaignBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway campaign: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gateway campaign differs from single node:\n gate   %s\n single %s", got, want)
+	}
+	if src := resp.Header.Get(serve.SourceHeader); src != wantSource {
+		t.Fatalf("aggregate source = %q, want %q", src, wantSource)
+	}
+}
+
+// TestWorkerKilledMidCampaign kills a worker the moment it starts
+// simulating its first campaign cell: the severed cells must re-route
+// to surviving workers and the final aggregate must still be
+// byte-identical to a healthy single node's.
+func TestWorkerKilledMidCampaign(t *testing.T) {
+	single := harness.New(t, 1, harness.Options{})
+	resp, want := postJSON(t, single.Nodes[0].TS.URL+"/v1/campaign", campaignBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node campaign: %d %s", resp.StatusCode, want)
+	}
+
+	var (
+		c    *harness.Cluster
+		once sync.Once
+	)
+	const victim = 1
+	c = harness.New(t, 3, harness.Options{
+		Serve: func(i int, cfg *serve.Config) {
+			if i == victim {
+				cfg.BeforeSimHook = func(string) {
+					once.Do(func() { c.Kill(victim) })
+				}
+			}
+		},
+	})
+	resp, got := postJSON(t, c.URL()+"/v1/campaign", campaignBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway campaign with killed worker: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aggregate diverged after mid-campaign kill:\n gate   %s\n single %s", got, want)
+	}
+}
+
+// TestAllWorkersDrained asserts the cluster-wide refusal: with every
+// worker in graceful drain the gateway answers 503 + Retry-After with
+// its own no_live_workers code — before probes notice (each forward
+// comes back "draining") and after (placement set empty).
+func TestAllWorkersDrained(t *testing.T) {
+	c := harness.New(t, 2, harness.Options{})
+	c.Drain(0)
+	c.Drain(1)
+
+	resp, body := postJSON(t, c.URL()+"/v1/load", `{"page":"Alipay","seed":3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if code := resp.Header.Get(serve.ErrorCodeHeader); code != cluster.CodeNoWorkers {
+		t.Fatalf("error code = %q, want %q (body %s)", code, cluster.CodeNoWorkers, body)
+	}
+
+	// After a probe round both workers report draining, placement is
+	// empty, and the gateway's own health flips to 503.
+	c.ProbeRounds(1)
+	if live := c.Gateway.Membership().Live(); len(live) != 0 {
+		t.Fatalf("live = %v, want none (all draining)", live)
+	}
+	resp, body = postJSON(t, c.URL()+"/v1/load", `{"page":"Alipay","seed":3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("post-probe refusal: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := getJSON(t, c.URL()+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("gateway healthz with no workers: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHungWorkerEvictedAndRejoins hangs a worker (TCP up, nothing
+// answering), steps probe rounds until the consecutive-failure
+// threshold evicts it, verifies traffic flows on the survivor, then
+// releases the hang and verifies one good probe restores placement.
+func TestHungWorkerEvictedAndRejoins(t *testing.T) {
+	c := harness.New(t, 2, harness.Options{FailThreshold: 2})
+	c.Hang(0)
+
+	c.ProbeRounds(1)
+	if st, _ := c.Gateway.Membership().Get("w0"); st.State != cluster.StateAlive {
+		t.Fatalf("w0 after 1 failed probe: %v, want still alive (threshold 2)", st.StateName)
+	}
+	c.ProbeRounds(1)
+	if st, _ := c.Gateway.Membership().Get("w0"); st.State != cluster.StateDead {
+		t.Fatalf("w0 after 2 failed probes: %v, want dead", st.StateName)
+	}
+
+	// Every key now lands on the survivor, first attempt.
+	for seed := int64(1); seed <= 4; seed++ {
+		_, worker, attempts := loadVia(t, c, fmt.Sprintf(`{"page":"Alipay","seed":%d}`, seed))
+		if worker != "w1" || attempts != 1 {
+			t.Fatalf("seed %d: worker=%s attempts=%d, want w1 in 1 attempt", seed, worker, attempts)
+		}
+	}
+
+	c.ReleaseHang(0)
+	c.ProbeRounds(1)
+	if st, _ := c.Gateway.Membership().Get("w0"); st.State != cluster.StateAlive {
+		t.Fatalf("w0 after release + probe: %v, want alive", st.StateName)
+	}
+	findSeedFor(t, c, "w0") // traffic reaches the rejoined worker again
+}
+
+// TestFaultBurstReroutes injects a one-shot bare 500 in front of a
+// healthy worker: the gateway re-routes to the next-ranked worker,
+// which computes byte-identical results (same key, same bytes — on
+// any worker).
+func TestFaultBurstReroutes(t *testing.T) {
+	c := harness.New(t, 2, harness.Options{})
+	body := `{"page":"Alipay","seed":5}`
+	want, first, attempts := loadVia(t, c, body)
+	if attempts != 1 {
+		t.Fatalf("healthy load took %d attempts", attempts)
+	}
+	victim := 0
+	if first == "w1" {
+		victim = 1
+	}
+	c.FailNext(victim, 1)
+	got, worker, attempts := loadVia(t, c, body)
+	if worker == first || attempts != 2 {
+		t.Fatalf("after 500 burst: worker=%s attempts=%d, want re-route off %s in 2 attempts", worker, attempts, first)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-routed result differs:\n %s\n %s", got, want)
+	}
+}
+
+// TestSlowWorkerRerouted injects response latency above the gateway's
+// per-attempt forward deadline: the attempt times out and the request
+// completes on another worker instead of stalling the client.
+func TestSlowWorkerRerouted(t *testing.T) {
+	// The forward deadline must be comfortably above one simulation
+	// (which can take a second under -race) while the injected latency
+	// stays far above the deadline, so the timing assertion has wide
+	// margins in both directions.
+	const (
+		forwardTimeout  = 2 * time.Second
+		injectedLatency = 60 * time.Second
+	)
+	c := harness.New(t, 2, harness.Options{ForwardTimeout: forwardTimeout})
+	body := `{"page":"Alipay","seed":6}`
+	want, first, _ := loadVia(t, c, body)
+	victim := 0
+	if first == "w1" {
+		victim = 1
+	}
+	c.SetLatency(victim, injectedLatency)
+	start := time.Now()
+	got, worker, attempts := loadVia(t, c, body)
+	if worker == first || attempts < 2 {
+		t.Fatalf("slow worker not re-routed: worker=%s attempts=%d", worker, attempts)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-routed result differs:\n %s\n %s", got, want)
+	}
+	if elapsed := time.Since(start); elapsed >= injectedLatency {
+		t.Fatalf("request waited out the injected latency (%s); forward deadline did not fire", elapsed)
+	}
+}
+
+// TestStreamTransportKillReroute exercises the wire transport end to
+// end: loads pipeline over per-worker stream connections, a killed
+// worker's severed connection turns into a redial failure and a
+// re-route, and revival plus one probe restores it.
+func TestStreamTransportKillReroute(t *testing.T) {
+	c := harness.New(t, 2, harness.Options{Transport: cluster.TransportStream})
+	body := `{"page":"Alipay","seed":8}`
+	want, first, attempts := loadVia(t, c, body)
+	if attempts != 1 {
+		t.Fatalf("healthy stream load took %d attempts", attempts)
+	}
+	victim := 0
+	if first == "w1" {
+		victim = 1
+	}
+	c.Kill(victim)
+	got, worker, attempts := loadVia(t, c, body)
+	if worker == first || attempts < 2 {
+		t.Fatalf("after kill: worker=%s attempts=%d, want re-route off %s", worker, attempts, first)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("re-routed stream result differs:\n %s\n %s", got, want)
+	}
+
+	c.Revive(victim)
+	c.ProbeRounds(1)
+	if st, _ := c.Gateway.Membership().Get(first); st.State != cluster.StateAlive {
+		t.Fatalf("%s after revive + probe: %v, want alive", first, st.StateName)
+	}
+	if _, _, attempts := loadVia(t, c, body); attempts != 1 {
+		t.Fatalf("revived cluster load took %d attempts", attempts)
+	}
+}
+
+// TestGatewayDiscoveryAndClusterEndpoints covers the proxied and
+// gateway-local read endpoints.
+func TestGatewayDiscoveryAndClusterEndpoints(t *testing.T) {
+	c := harness.New(t, 2, harness.Options{})
+
+	resp, body := getJSON(t, c.URL()+"/v1/pages")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pages: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get(cluster.WorkerHeader) == "" {
+		t.Fatal("proxied pages response without worker attribution")
+	}
+	var pages struct {
+		Pages []string `json:"pages"`
+	}
+	if err := json.Unmarshal(body, &pages); err != nil || len(pages.Pages) == 0 {
+		t.Fatalf("pages body: %v (%s)", err, body)
+	}
+
+	resp, body = getJSON(t, c.URL()+"/v1/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster: %d %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		Fingerprint string `json:"fingerprint"`
+		Members     []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("cluster body: %v (%s)", err, body)
+	}
+	if snap.Fingerprint != sim.ConfigFingerprint(soc.NexusFive()) {
+		t.Fatalf("cluster fingerprint = %q, want pinned device fingerprint", snap.Fingerprint)
+	}
+	if len(snap.Members) != 2 || snap.Members[0].Name != "w0" || snap.Members[0].State != "alive" {
+		t.Fatalf("cluster members unexpected: %s", body)
+	}
+
+	if resp, body := getJSON(t, c.URL()+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway healthz: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := getJSON(t, c.URL()+"/metrics"); resp.StatusCode != http.StatusOK ||
+		!bytes.Contains(body, []byte("dora_gate_requests_total")) {
+		t.Fatalf("gateway metrics: %d %s", resp.StatusCode, body)
+	}
+}

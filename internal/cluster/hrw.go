@@ -1,0 +1,90 @@
+// Package cluster shards the dorad serving path across a set of
+// worker daemons: a stateless gateway (cmd/doragate) routes each
+// request key — device fingerprint plus canonicalized run options —
+// to a worker via rendezvous (highest-random-weight) hashing, so every
+// worker's persistent runcache and in-flight singleflight shard
+// naturally with zero coordination. Campaign grids fan out across
+// workers exactly as the measurement layer fans them across
+// goroutines: index-derived seeds keep the aggregate byte-identical at
+// any cluster width, which is what makes per-cell re-route-and-retry
+// on worker failure safe — any worker computes the same bytes for the
+// same cell.
+//
+// Membership is a static worker list refined by periodic /healthz
+// probing: consecutive probe failures evict a node from placement,
+// a succeeding probe rejoins it, and draining workers are excluded
+// from new placement while they finish in-flight work. The package is
+// deliberately outside doralint's determinism set (it reads wall
+// clocks for probing and latency), but routing itself is pure: the
+// same key and live set always pick the same worker, across restarts
+// and at any iteration order.
+package cluster
+
+import "sort"
+
+// fnv1a64 is the FNV-1a 64-bit hash of s. Chosen over importing
+// hash/fnv to keep scoring allocation-free on the request path.
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// turns the xor of two FNV hashes into a uniformly distributed score.
+// FNV alone is too linear for rendezvous ranking — without the
+// finalizer, members whose hashes share high bits would rank together
+// for most keys and skew placement.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Score is the rendezvous weight of member for key. It depends only
+// on the two strings — no process state, no seed — so every gateway
+// instance, restart, and replica ranks identically.
+func Score(key, member string) uint64 {
+	return mix64(fnv1a64(key) ^ mix64(fnv1a64(member)))
+}
+
+// Pick returns the member with the highest Score for key, breaking
+// exact score ties by smaller name so the choice is total. ok is false
+// when members is empty. The input slice is read in full and never
+// mutated; the result is independent of its order.
+func Pick(key string, members []string) (best string, ok bool) {
+	var bestScore uint64
+	for _, m := range members {
+		s := Score(key, m)
+		if !ok || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore, ok = m, s, true
+		}
+	}
+	return best, ok
+}
+
+// Rank returns members ordered by descending Score for key (score
+// ties broken by ascending name): Rank(k, m)[0] == Pick(k, m), and the
+// tail is the deterministic re-route order when the preferred worker
+// fails. The input is not mutated.
+func Rank(key string, members []string) []string {
+	ranked := append([]string(nil), members...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := Score(key, ranked[i]), Score(key, ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}

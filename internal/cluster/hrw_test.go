@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// syntheticKeys builds n distinct routing-key-shaped strings.
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gate-route|deadbeef|page-%d|seed-%d", i%37, i)
+	}
+	return keys
+}
+
+func memberNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	return names
+}
+
+// TestPickGolden pins placement across process restarts: rendezvous
+// scores depend only on the key and member strings, so these exact
+// assignments must hold on every build, platform, and run. A failure
+// here means every deployed cluster would reshuffle its caches on
+// upgrade.
+func TestPickGolden(t *testing.T) {
+	members := []string{"w0", "w1", "w2", "w3", "w4"}
+	golden := []struct{ key, want string }{
+		{"alipay-1", "w2"},
+		{"reddit-42", "w4"},
+		{"gate-route|fp|Alipay|7", "w1"},
+		{"campaign-cell-3", "w3"},
+		{"taobao-9000003", "w1"},
+		{"", "w3"},
+	}
+	for _, g := range golden {
+		got, ok := Pick(g.key, members)
+		if !ok || got != g.want {
+			t.Errorf("Pick(%q) = %q (ok=%v), want %q", g.key, got, ok, g.want)
+		}
+	}
+}
+
+// TestPickOrderIndependence: the winner cannot depend on the order the
+// live set happens to be enumerated in.
+func TestPickOrderIndependence(t *testing.T) {
+	members := memberNames(7)
+	keys := syntheticKeys(200)
+	rng := rand.New(rand.NewSource(1))
+	for _, key := range keys {
+		want, _ := Pick(key, members)
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got, _ := Pick(key, shuffled); got != want {
+			t.Fatalf("Pick(%q) order-dependent: %q vs %q", key, got, want)
+		}
+	}
+}
+
+// TestPlacementStabilityOnLeave is rendezvous hashing's defining
+// property: removing one member moves exactly the keys that member
+// owned — every other key keeps its placement (and its worker-side
+// cache).
+func TestPlacementStabilityOnLeave(t *testing.T) {
+	members := memberNames(5)
+	keys := syntheticKeys(10_000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = Pick(k, members)
+	}
+	const removed = "w2"
+	var remaining []string
+	for _, m := range members {
+		if m != removed {
+			remaining = append(remaining, m)
+		}
+	}
+	moved := 0
+	for _, k := range keys {
+		after, _ := Pick(k, remaining)
+		if before[k] == removed {
+			moved++
+			continue // had to move; anywhere is fine
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though %s left", k, before[k], after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("%s owned no keys out of %d", removed, len(keys))
+	}
+}
+
+// TestPlacementSpreadOnJoin: adding a member steals ~1/new_N of the
+// keys — all of them to the newcomer — instead of reshuffling the
+// world like modulo hashing would.
+func TestPlacementSpreadOnJoin(t *testing.T) {
+	members := memberNames(5)
+	keys := syntheticKeys(10_000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = Pick(k, members)
+	}
+	const joined = "w5"
+	grown := append(append([]string(nil), members...), joined)
+	moved := 0
+	for _, k := range keys {
+		after, _ := Pick(k, grown)
+		if after == before[k] {
+			continue
+		}
+		if after != joined {
+			t.Fatalf("key %q moved %s -> %s on join of %s (only moves to the joiner are allowed)", k, before[k], after, joined)
+		}
+		moved++
+	}
+	want := len(keys) / len(grown) // 1/6 of the keys
+	if moved < want/2 || moved > want*2 {
+		t.Fatalf("join moved %d keys, want ~%d (1/%d of %d)", moved, want, len(grown), len(keys))
+	}
+}
+
+// TestPlacementUniformity: 10k synthetic keys over 8 members must land
+// within ±20%% of the fair share — the mix64 finalizer is what makes
+// this hold despite FNV's weak diffusion.
+func TestPlacementUniformity(t *testing.T) {
+	members := memberNames(8)
+	keys := syntheticKeys(10_000)
+	counts := make(map[string]int, len(members))
+	for _, k := range keys {
+		owner, _ := Pick(k, members)
+		counts[owner]++
+	}
+	fair := len(keys) / len(members)
+	lo, hi := fair*8/10, fair*12/10
+	for _, m := range members {
+		if counts[m] < lo || counts[m] > hi {
+			t.Errorf("member %s owns %d keys, outside [%d, %d] (fair %d)", m, counts[m], lo, hi, fair)
+		}
+	}
+}
+
+// TestRankProperties: Rank is a permutation of the members, its head
+// is Pick, and it is insensitive to input order — the tail is the
+// exact failover sequence every gateway replica agrees on.
+func TestRankProperties(t *testing.T) {
+	members := memberNames(6)
+	rng := rand.New(rand.NewSource(2))
+	for _, key := range syntheticKeys(100) {
+		ranked := Rank(key, members)
+		if len(ranked) != len(members) {
+			t.Fatalf("Rank(%q) has %d entries, want %d", key, len(ranked), len(members))
+		}
+		seen := make(map[string]bool, len(ranked))
+		for _, m := range ranked {
+			if seen[m] {
+				t.Fatalf("Rank(%q) repeats %q", key, m)
+			}
+			seen[m] = true
+		}
+		if pick, _ := Pick(key, members); ranked[0] != pick {
+			t.Fatalf("Rank(%q)[0] = %q, Pick = %q", key, ranked[0], pick)
+		}
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		reranked := Rank(key, shuffled)
+		for i := range ranked {
+			if reranked[i] != ranked[i] {
+				t.Fatalf("Rank(%q) order-dependent at %d: %v vs %v", key, i, reranked, ranked)
+			}
+		}
+	}
+}
+
+// TestPickEmpty: no members, no winner — and no panic.
+func TestPickEmpty(t *testing.T) {
+	if got, ok := Pick("key", nil); ok || got != "" {
+		t.Fatalf("Pick with no members = %q, %v", got, ok)
+	}
+	if ranked := Rank("key", nil); len(ranked) != 0 {
+		t.Fatalf("Rank with no members = %v", ranked)
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	members := memberNames(16)
+	key := "gate-route|deadbeef|Alipay|interactive|7000021"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Pick(key, members)
+	}
+}

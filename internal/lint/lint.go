@@ -98,9 +98,14 @@ var simPackages = map[string]bool{
 // map-ordered loop there would emit frames in a per-run order and
 // break the byte-equivalence contract with the JSON endpoints; wire
 // deliberately stays out of simPackages because the client side keeps
-// wall-clock deadlines the determinism rule bans.
+// wall-clock deadlines the determinism rule bans. The cluster gateway
+// is held to the same bar: routing and campaign assembly must not
+// depend on map iteration order (placement is a pure function of key
+// and live set), while its probing and latency measurement keep the
+// wall clocks the determinism rule bans.
 var mapOrderExtra = map[string]bool{
-	"wire": true,
+	"wire":    true,
+	"cluster": true,
 }
 
 // Diagnostic is one finding, positioned in module-relative file

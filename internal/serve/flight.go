@@ -14,7 +14,7 @@ type flight struct {
 	// body is the exact response bytes every waiter writes, making N
 	// deduplicated responses byte-identical by construction.
 	body []byte
-	err  *apiError
+	err  *APIError
 
 	// waiters is the number of requests currently interested; guarded
 	// by the owning group's mutex. cancel aborts the simulation context
@@ -74,7 +74,7 @@ func (g *flightGroup) leave(fl *flight) {
 // finish publishes the result: the flight is removed from the group
 // first, so a request arriving after a cancelled flight starts a fresh
 // one rather than inheriting a stranger's abort.
-func (g *flightGroup) finish(key string, fl *flight, body []byte, err *apiError) {
+func (g *flightGroup) finish(key string, fl *flight, body []byte, err *APIError) {
 	g.mu.Lock()
 	delete(g.m, key)
 	fl.body, fl.err = body, err

@@ -28,28 +28,49 @@ const (
 	CodeWireVersion   = "wire_version"    // 426: stream handshake version skew
 )
 
-// apiError is a structured, user-visible request failure.
-type apiError struct {
+// APIError is a structured, user-visible request failure.
+type APIError struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
 
-func (e *apiError) Error() string { return e.Message }
+func (e *APIError) Error() string { return e.Message }
 
-func errBadRequest(format string, args ...any) *apiError {
-	return &apiError{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+func errBadRequest(format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
 }
 
-func errNotFound(format string, args ...any) *apiError {
-	return &apiError{Status: http.StatusNotFound, Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+func errNotFound(format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusNotFound, Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
 }
 
 // errorBody is the JSON envelope every error response carries:
 // {"error":{"code":"...","message":"..."}}.
 type errorBody struct {
-	Err *apiError `json:"error"`
+	Err *APIError `json:"error"`
 }
+
+// DecodeErrorBody parses the structured error envelope a dorad
+// response body carries ({"error":{"code","message"}}), reporting
+// false when the body is not one. The gateway uses it to re-emit a
+// worker's refusal as a campaign cell error with the worker's own code
+// intact.
+func DecodeErrorBody(status int, data []byte) (*APIError, bool) {
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Err == nil || eb.Err.Code == "" {
+		return nil, false
+	}
+	eb.Err.Status = status
+	return eb.Err, true
+}
+
+// AggregateSource folds per-cell provenance into a campaign-level
+// X-Dora-Source value: the common source when all answered cells
+// agree, "mixed" otherwise, "" when no cell produced a result. Shared
+// with the cluster gateway so its assembled campaign responses carry
+// the same header semantics as a single node's.
+func AggregateSource(sources []string) string { return aggregateSource(sources) }
 
 // LoadRequest is the JSON body of POST /v1/load: one measured page
 // load. Durations are integral milliseconds; zero fields take the
@@ -121,7 +142,7 @@ type CampaignCell struct {
 	Governor string          `json:"governor"`
 	Seed     int64           `json:"seed"`
 	Result   json.RawMessage `json:"result,omitempty"`
-	Error    *apiError       `json:"error,omitempty"`
+	Error    *APIError       `json:"error,omitempty"`
 }
 
 // CampaignResponse is the JSON body answering POST /v1/campaign.
@@ -165,7 +186,7 @@ func knownGovernor(name string) bool {
 
 // decodeStrict unmarshals one JSON value into v, rejecting unknown
 // fields and trailing content.
-func decodeStrict(data []byte, v any) *apiError {
+func decodeStrict(data []byte, v any) *APIError {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -179,7 +200,7 @@ func decodeStrict(data []byte, v any) *apiError {
 }
 
 // checkDurationMs validates one millisecond field.
-func checkDurationMs(name string, v int64) *apiError {
+func checkDurationMs(name string, v int64) *APIError {
 	if v < 0 {
 		return errBadRequest("%s must be >= 0, got %d", name, v)
 	}
@@ -193,14 +214,14 @@ func checkDurationMs(name string, v int64) *apiError {
 // returning the normalized request (canonical page/kernel casing,
 // explicit governor) or a structured error. It never panics on any
 // input — FuzzLoadRequestDecode holds it to that.
-func DecodeLoadRequest(data []byte) (LoadRequest, *apiError) {
+func DecodeLoadRequest(data []byte) (LoadRequest, *APIError) {
 	return DecodeLoadRequestDefault(data, "")
 }
 
 // DecodeLoadRequestDefault is DecodeLoadRequest with a server-level
 // default fidelity (dorad -fidelity) substituted when the body omits
 // the field. An explicit fidelity in the body always wins.
-func DecodeLoadRequestDefault(data []byte, defaultFidelity string) (LoadRequest, *apiError) {
+func DecodeLoadRequestDefault(data []byte, defaultFidelity string) (LoadRequest, *APIError) {
 	var req LoadRequest
 	if apiErr := decodeStrict(data, &req); apiErr != nil {
 		return LoadRequest{}, apiErr
@@ -213,7 +234,7 @@ func DecodeLoadRequestDefault(data []byte, defaultFidelity string) (LoadRequest,
 
 // normalizeLoadRequest validates field values and canonicalizes names,
 // so equal workloads produce equal (deduplicable) requests.
-func normalizeLoadRequest(req LoadRequest) (LoadRequest, *apiError) {
+func normalizeLoadRequest(req LoadRequest) (LoadRequest, *APIError) {
 	if req.Page == "" {
 		return LoadRequest{}, errBadRequest("page is required")
 	}
@@ -280,13 +301,13 @@ func normalizeLoadRequest(req LoadRequest) (LoadRequest, *apiError) {
 // seeds. The cell order (pages outermost, then corunners, then
 // governors) and each cell's seed depend only on the request, never on
 // scheduling.
-func DecodeCampaignRequest(data []byte) (CampaignRequest, []LoadRequest, *apiError) {
+func DecodeCampaignRequest(data []byte) (CampaignRequest, []LoadRequest, *APIError) {
 	return DecodeCampaignRequestDefault(data, "")
 }
 
 // DecodeCampaignRequestDefault is DecodeCampaignRequest with a
 // server-level default fidelity (see DecodeLoadRequestDefault).
-func DecodeCampaignRequestDefault(data []byte, defaultFidelity string) (CampaignRequest, []LoadRequest, *apiError) {
+func DecodeCampaignRequestDefault(data []byte, defaultFidelity string) (CampaignRequest, []LoadRequest, *APIError) {
 	var req CampaignRequest
 	if apiErr := decodeStrict(data, &req); apiErr != nil {
 		return CampaignRequest{}, nil, apiErr
@@ -298,7 +319,7 @@ func DecodeCampaignRequestDefault(data []byte, defaultFidelity string) (Campaign
 // grid — the transport-independent half of campaign decoding, shared
 // by the JSON endpoint and the stream handler so both produce the same
 // cells, seeds, and errors for the same logical request.
-func expandCampaign(req CampaignRequest, defaultFidelity string) (CampaignRequest, []LoadRequest, *apiError) {
+func expandCampaign(req CampaignRequest, defaultFidelity string) (CampaignRequest, []LoadRequest, *APIError) {
 	if req.Fidelity == "" {
 		req.Fidelity = defaultFidelity
 	}

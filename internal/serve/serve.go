@@ -113,6 +113,12 @@ type Config struct {
 	// delivered a complete frame in this long (default 5 min; <0
 	// disables). Refreshed on every frame.
 	StreamIdleTimeout time.Duration
+	// BeforeSimHook, when set, runs in the flight leader right before
+	// its simulation starts, keyed by the flight's dedup key. Test
+	// instrumentation only: the in-package e2e tests and the cluster
+	// harness park simulations here to make queue-full, drain, and
+	// mid-campaign fault timing deterministic.
+	BeforeSimHook func(key string)
 }
 
 // Server is the dorad daemon core: handlers plus the admission,
@@ -250,6 +256,7 @@ func NewServer(cfg Config) *Server {
 		hFramesPerFlush:   reg.Histogram("dora_stream_frames_per_flush", "result frames coalesced into one stream flush", telemetry.ExponentialBuckets(1, 2, 8)),
 	}
 	s.obs = newServeObs(reg)
+	s.testBeforeSim = cfg.BeforeSimHook
 	s.startMono = s.mono.MonoNow()
 	// Seed the Retry-After jitter stream from boot entropy (falling
 	// back to a fixed seed changes nothing but the jitter phase).
@@ -367,13 +374,13 @@ func (s *Server) InFlight() int { return int(s.queued.Load()) }
 // slot, is parked in the bounded wait queue, or is shed. release must
 // be called exactly once when admission succeeded. Time spent waiting
 // for a slot is reported into the request's observability record.
-func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
+func (s *Server) admit(ctx context.Context) (release func(), apiErr *APIError) {
 	n := s.queued.Add(1)
 	s.gQueue.Set(float64(n))
 	if n > int64(s.cfg.Concurrency+s.cfg.MaxQueue) {
 		s.gQueue.Set(float64(s.queued.Add(-1)))
 		s.mRejects.Inc()
-		return nil, &apiError{
+		return nil, &APIError{
 			Status:  http.StatusTooManyRequests,
 			Code:    CodeQueueFull,
 			Message: fmt.Sprintf("admission queue full (%d simulating, %d queue slots)", s.cfg.Concurrency, s.cfg.MaxQueue),
@@ -398,11 +405,11 @@ func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
 	}
 }
 
-func ctxErrToAPI(ctx context.Context) *apiError {
+func ctxErrToAPI(ctx context.Context) *APIError {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeDeadline, Message: "request deadline expired"}
+		return &APIError{Status: http.StatusGatewayTimeout, Code: CodeDeadline, Message: "request deadline expired"}
 	}
-	return &apiError{Status: 499, Code: CodeClientClosed, Message: "client closed request"}
+	return &APIError{Status: 499, Code: CodeClientClosed, Message: "client closed request"}
 }
 
 // --- simulation path -------------------------------------------------
@@ -438,7 +445,7 @@ func (s *Server) cacheGet(key string) ([]byte, bool) {
 // hit, else join (or lead) the singleflight for its key and wait under
 // the request context. The returned body is shared verbatim between
 // every deduplicated waiter.
-func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *APIError) {
 	key := s.loadKey(req)
 	if b, ok := s.cacheGet(key); ok {
 		return b, "cache", nil
@@ -453,7 +460,7 @@ func (s *Server) simulate(ctx context.Context, req LoadRequest) (body []byte, so
 // join/lead/retry machinery for an already-derived key. Callers that
 // ran the pre-admission cache fast path (executeLoad) enter here
 // directly so the cache is probed exactly once per request.
-func (s *Server) simulateKey(ctx context.Context, key string, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+func (s *Server) simulateKey(ctx context.Context, key string, req LoadRequest) (body []byte, source string, apiErr *APIError) {
 	simStart := s.mono.MonoNow()
 	if obs := obsFrom(ctx); obs != nil {
 		// Campaign cells run concurrently; accumulate wall time spent
@@ -516,15 +523,15 @@ func (s *Server) runFlight(key string, fl *flight, simCtx context.Context, cance
 	case err == nil:
 		body, merr := json.Marshal(res)
 		if merr != nil {
-			s.flights.finish(key, fl, nil, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode result: " + merr.Error()})
+			s.flights.finish(key, fl, nil, &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode result: " + merr.Error()})
 			return
 		}
 		s.cfg.Cache.Put(key, res)
 		s.flights.finish(key, fl, body, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		s.flights.finish(key, fl, nil, &apiError{Status: http.StatusServiceUnavailable, Code: CodeAborted, Message: "simulation aborted: " + err.Error()})
+		s.flights.finish(key, fl, nil, &APIError{Status: http.StatusServiceUnavailable, Code: CodeAborted, Message: "simulation aborted: " + err.Error()})
 	default:
-		s.flights.finish(key, fl, nil, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()})
+		s.flights.finish(key, fl, nil, &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()})
 	}
 }
 
@@ -572,7 +579,7 @@ func (s *Server) runSim(ctx context.Context, req LoadRequest) (sim.Result, error
 // newGovernor builds a fresh governor instance by request name,
 // mirroring the experiment suite's constructors (same intervals, same
 // DL margin) so served results match suite-built ones bit for bit.
-func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.Duration, *apiError) {
+func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.Duration, *APIError) {
 	switch name {
 	case "fixed":
 		return governor.NewFixed(s.device.OPPs.Ceil(freqMHz)), 20 * time.Millisecond, nil
@@ -591,7 +598,7 @@ func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.
 		return nil, 0, errBadRequest("unknown governor %q", name)
 	}
 	if s.cfg.Models == nil {
-		return nil, 0, &apiError{Status: http.StatusBadRequest, Code: CodeModelRequired,
+		return nil, 0, &APIError{Status: http.StatusBadRequest, Code: CodeModelRequired,
 			Message: fmt.Sprintf("governor %q needs trained models; start dorad with -models", name)}
 	}
 	opts := core.Options{UseLeakage: true}
@@ -607,7 +614,7 @@ func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.
 	}
 	g, err := core.New(s.cfg.Models, opts)
 	if err != nil {
-		return nil, 0, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+		return nil, 0, &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
 	}
 	return g, 100 * time.Millisecond, nil
 }
@@ -615,12 +622,12 @@ func (s *Server) newGovernor(name string, freqMHz int) (governor.Governor, time.
 // --- handlers --------------------------------------------------------
 
 // readBody slurps the request body under the configured limit.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *APIError) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Code: CodePayloadLarge,
+			return nil, &APIError{Status: http.StatusRequestEntityTooLarge, Code: CodePayloadLarge,
 				Message: fmt.Sprintf("request body over %d bytes", tooBig.Limit)}
 		}
 		return nil, errBadRequest("read body: %v", err)
@@ -643,7 +650,7 @@ func (s *Server) requestCtx(r *http.Request, timeoutMs int64) (context.Context, 
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
+		s.writeError(w, &APIError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
 		return
 	}
 	if !s.beginRequest() {
@@ -682,7 +689,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
+		s.writeError(w, &APIError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "POST required"})
 		return
 	}
 	if !s.beginRequest() {
@@ -744,7 +751,7 @@ func campaignTimeoutMs(data []byte) int64 {
 
 func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "GET required"})
+		s.writeError(w, &APIError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "GET required"})
 		return
 	}
 	var kernels []string
@@ -775,6 +782,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"go":             runtime.Version(),
 		"uptime_s":       clock.MonoSince(s.mono, s.startMono).Seconds(),
 		"requests_total": s.mRequests.Value(),
+		// The device fingerprint lets a cluster gateway verify every
+		// worker simulates the same configuration (and fold it into its
+		// routing keys) without a separate discovery endpoint.
+		"fingerprint": s.fp,
 	})
 }
 
@@ -789,10 +800,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeDrainRefusal(w http.ResponseWriter) {
 	s.mDrainRejects.Inc()
-	s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: "server is draining; retry against another instance"})
+	s.writeError(w, &APIError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: "server is draining; retry against another instance"})
 }
 
-func (s *Server) writeError(w http.ResponseWriter, apiErr *apiError) {
+func (s *Server) writeError(w http.ResponseWriter, apiErr *APIError) {
 	switch apiErr.Status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		// Jittered advisory backoff: a shed burst must not come back

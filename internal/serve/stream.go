@@ -81,7 +81,7 @@ type streamConn struct {
 // client never sees a single frame.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "GET required"})
+		s.writeError(w, &APIError{Status: http.StatusMethodNotAllowed, Code: CodeMethod, Message: "GET required"})
 		return
 	}
 	if !strings.EqualFold(r.Header.Get("Upgrade"), wire.UpgradeProtocol) {
@@ -89,12 +89,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if got := r.Header.Get(wire.VersionHeader); got != strconv.Itoa(wire.ProtoVersion) {
-		s.writeError(w, &apiError{Status: http.StatusUpgradeRequired, Code: CodeWireVersion,
+		s.writeError(w, &APIError{Status: http.StatusUpgradeRequired, Code: CodeWireVersion,
 			Message: "wire protocol version " + got + " not supported (want " + strconv.Itoa(wire.ProtoVersion) + ")"})
 		return
 	}
 	if got := r.Header.Get(wire.SchemaHeader); got != strconv.Itoa(runcache.SchemaVersion) {
-		s.writeError(w, &apiError{Status: http.StatusUpgradeRequired, Code: CodeWireVersion,
+		s.writeError(w, &APIError{Status: http.StatusUpgradeRequired, Code: CodeWireVersion,
 			Message: "result schema version " + got + " not supported (want " + strconv.Itoa(runcache.SchemaVersion) + ")"})
 		return
 	}
@@ -104,14 +104,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	hj, ok := w.(http.Hijacker)
 	if !ok {
-		s.writeError(w, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "listener does not support connection upgrades"})
+		s.writeError(w, &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "listener does not support connection upgrades"})
 		return
 	}
 	compress := r.Header.Get(wire.CompressHeader) == wire.CompressFlate
 
 	conn, rw, err := hj.Hijack()
 	if err != nil {
-		s.writeError(w, &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "hijack: " + err.Error()})
+		s.writeError(w, &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "hijack: " + err.Error()})
 		return
 	}
 	// The 101 goes out raw: the ResponseWriter is ours no longer.
@@ -297,11 +297,11 @@ func (sc *streamConn) end() {
 
 func (sc *streamConn) refuseDraining(id uint64) {
 	sc.srv.mDrainRejects.Inc()
-	sc.sendError(id, &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: "server is draining; retry against another instance"})
+	sc.sendError(id, &APIError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: "server is draining; retry against another instance"})
 }
 
 // sendError completes a request id with a TypeError frame.
-func (sc *streamConn) sendError(id uint64, apiErr *apiError) {
+func (sc *streamConn) sendError(id uint64, apiErr *APIError) {
 	we := wire.Error{Status: apiErr.Status, Code: apiErr.Code, Message: apiErr.Message}
 	sc.enqueue(outFrame{
 		f:       wire.Frame{Type: wire.TypeError, ID: id},
@@ -527,7 +527,7 @@ func (sc *streamConn) doCampaign(id uint64, payload []byte) {
 			// as a structured error and drop its provenance instead of
 			// silently sending fewer frames than summary.Cells.
 			cell = CampaignCell{Page: cell.Page, CoRunner: cell.CoRunner, Governor: cell.Governor, Seed: cell.Seed,
-				Error: &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode campaign cell: " + merr.Error()}}
+				Error: &APIError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: "encode campaign cell: " + merr.Error()}}
 			source = ""
 			body, _ = json.Marshal(cell)
 		}
@@ -568,10 +568,10 @@ type streamLine struct {
 	source   string
 	fidelity string
 	bytes    int64
-	apiErr   *apiError
+	apiErr   *APIError
 }
 
-func (st *streamLine) fail(apiErr *apiError) {
+func (st *streamLine) fail(apiErr *APIError) {
 	st.apiErr = apiErr
 	st.status = apiErr.Status
 	st.code = apiErr.Code
@@ -648,7 +648,7 @@ func aggregateSource(sources []string) string {
 // are never queued behind in-flight simulations — their latency is
 // pure transport, which is exactly what the stream transport then
 // collapses.
-func (s *Server) executeLoad(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *apiError) {
+func (s *Server) executeLoad(ctx context.Context, req LoadRequest) (body []byte, source string, apiErr *APIError) {
 	// Surface "model-based governor but no models" as a fast 400
 	// instead of a queued-then-failed simulation.
 	if _, _, apiErr := s.newGovernor(req.Governor, req.FreqMHz); apiErr != nil {
@@ -668,7 +668,7 @@ func (s *Server) executeLoad(ctx context.Context, req LoadRequest) (body []byte,
 	defer release()
 	body, source, apiErr = s.simulateKey(ctx, key, req)
 	if apiErr != nil && apiErr.Code == CodeAborted { // e.g. server force-closed mid-run
-		apiErr = &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: apiErr.Message}
+		apiErr = &APIError{Status: http.StatusServiceUnavailable, Code: CodeDraining, Message: apiErr.Message}
 	}
 	return body, source, apiErr
 }
@@ -678,7 +678,7 @@ func (s *Server) executeLoad(ctx context.Context, req LoadRequest) (body []byte,
 // must be safe for concurrent calls on distinct indexes). The JSON
 // path collects cells into the response array; the stream path ships
 // each as its own frame.
-func (s *Server) executeCampaign(ctx context.Context, cells []LoadRequest, emit func(i int, cell CampaignCell, source string)) *apiError {
+func (s *Server) executeCampaign(ctx context.Context, cells []LoadRequest, emit func(i int, cell CampaignCell, source string)) *APIError {
 	for _, c := range cells {
 		if _, _, apiErr := s.newGovernor(c.Governor, c.FreqMHz); apiErr != nil {
 			return apiErr
